@@ -1,0 +1,171 @@
+// Command consensus-sim runs a single simulated consensus experiment and
+// prints its outcome, timing, and message accounting.
+//
+// Usage:
+//
+//	consensus-sim [-protocol modpaxos|paxos|roundbased|bconsensus]
+//	              [-n 5] [-delta 10ms] [-ts 200ms] [-rho 0.01]
+//	              [-sigma 0] [-eps 0] [-seed 1]
+//	              [-attack none|obsolete|deadcoords] [-k 0]
+//	              [-policy dropall|chaos|sync] [-drop 0.5]
+//	              [-restart "proc@crash:restart"] [-worstcase] [-v]
+//
+// Examples:
+//
+//	# The headline contrast: traditional Paxos vs the paper's algorithm
+//	# under 8 obsolete ballots.
+//	consensus-sim -protocol paxos    -n 17 -attack obsolete -k 8 -worstcase
+//	consensus-sim -protocol modpaxos -n 17 -attack obsolete -k 8 -worstcase
+//
+//	# A process crashes before TS and restarts 400ms after it.
+//	consensus-sim -protocol modpaxos -restart "4@100ms:600ms"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+	"repro/internal/harness"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "consensus-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
+	var (
+		protocol  = fs.String("protocol", "modpaxos", "protocol: modpaxos, paxos, roundbased, bconsensus")
+		n         = fs.Int("n", 5, "number of processes")
+		delta     = fs.Duration("delta", 10*time.Millisecond, "δ")
+		ts        = fs.Duration("ts", 200*time.Millisecond, "stabilization time TS")
+		rho       = fs.Float64("rho", 0.01, "clock-rate error bound ρ")
+		sigma     = fs.Duration("sigma", 0, "σ (modpaxos; 0 = default)")
+		eps       = fs.Duration("eps", 0, "ε (modpaxos/bconsensus; 0 = default)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		attack    = fs.String("attack", "none", "adversary: none, obsolete, deadcoords")
+		k         = fs.Int("k", 0, "attack strength")
+		policy    = fs.String("policy", "dropall", "pre-TS policy: dropall, chaos, sync")
+		dropProb  = fs.Float64("drop", 0.5, "chaos policy drop probability")
+		restart   = fs.String("restart", "", "crash/restart schedule \"proc@crash:restart\" (comma separated)")
+		worstCase = fs.Bool("worstcase", false, "every post-TS delivery takes exactly δ")
+		prepared  = fs.Bool("prepared", false, "stable-state fast path (modpaxos)")
+		verbose   = fs.Bool("v", false, "print the session/round time series")
+		horizon   = fs.Duration("horizon", 2*time.Minute, "virtual-time budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := harness.Config{
+		Protocol: harness.Protocol(*protocol),
+		N:        *n, Delta: *delta, TS: *ts, Rho: *rho,
+		Sigma: *sigma, Eps: *eps, Seed: *seed,
+		Attack: harness.AttackKind(*attack), AttackK: *k,
+		WorstCaseDelays: *worstCase, Prepared: *prepared,
+		Horizon: *horizon,
+	}
+	switch *policy {
+	case "dropall":
+		cfg.Policy = simnet.DropAll{}
+	case "chaos":
+		cfg.Policy = simnet.Chaos{DropProb: *dropProb}
+	case "sync":
+		cfg.Policy = simnet.Synchronous{}
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	restarts, err := parseRestarts(*restart)
+	if err != nil {
+		return err
+	}
+	cfg.Restarts = restarts
+
+	res, err := harness.Run(cfg)
+	if err != nil {
+		return err
+	}
+	report(cfg, res, *verbose)
+	if res.Violation != nil {
+		return fmt.Errorf("SAFETY VIOLATION: %w", res.Violation)
+	}
+	if !res.Decided {
+		return fmt.Errorf("cluster did not decide within %v", *horizon)
+	}
+	return nil
+}
+
+// parseRestarts parses "proc@crash:restart" entries such as "4@100ms:600ms".
+func parseRestarts(s string) ([]harness.Restart, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []harness.Restart
+	for _, part := range strings.Split(s, ",") {
+		procStr, times, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("restart %q: want proc@crash:restart", part)
+		}
+		proc, err := strconv.Atoi(procStr)
+		if err != nil {
+			return nil, fmt.Errorf("restart %q: bad process id: %w", part, err)
+		}
+		crashStr, restartStr, ok := strings.Cut(times, ":")
+		if !ok {
+			return nil, fmt.Errorf("restart %q: want proc@crash:restart", part)
+		}
+		crash, err := time.ParseDuration(crashStr)
+		if err != nil {
+			return nil, fmt.Errorf("restart %q: bad crash time: %w", part, err)
+		}
+		var back time.Duration
+		if restartStr != "" && restartStr != "never" {
+			back, err = time.ParseDuration(restartStr)
+			if err != nil {
+				return nil, fmt.Errorf("restart %q: bad restart time: %w", part, err)
+			}
+		}
+		out = append(out, harness.Restart{Proc: consensus.ProcessID(proc), CrashAt: crash, RestartAt: back})
+	}
+	return out, nil
+}
+
+func report(cfg harness.Config, res harness.Result, verbose bool) {
+	fmt.Printf("protocol   %s  (n=%d δ=%v TS=%v seed=%d)\n", cfg.Protocol, cfg.N, cfg.Delta, cfg.TS, cfg.Seed)
+	if cfg.Attack != "" && cfg.Attack != harness.NoAttack {
+		fmt.Printf("adversary  %s k=%d\n", cfg.Attack, cfg.AttackK)
+	}
+	fmt.Printf("decided    %v  value=%q\n", res.Decided, res.Value)
+	fmt.Printf("first decision  %v\n", res.FirstDecision)
+	fmt.Printf("last decision   %v  (%s after TS)\n", res.LastDecision, trace.InDelta(res.LatencyAfterTS, cfg.Delta))
+	if cfg.Protocol == harness.ModifiedPaxos {
+		if bound, err := modpaxos.DecisionBound(modpaxos.Config{Delta: cfg.Delta, Sigma: cfg.Sigma, Eps: cfg.Eps, Rho: cfg.Rho}); err == nil {
+			fmt.Printf("paper bound     ε+3τ+5δ = %v (%s)\n", bound, trace.InDelta(bound, cfg.Delta))
+		}
+	}
+	for proc, rec := range res.RestartRecovery {
+		fmt.Printf("restart    p%d decided %v after restart (%s)\n", proc, rec, trace.InDelta(rec, cfg.Delta))
+	}
+	fmt.Printf("messages   %d total\n", res.Messages)
+	fmt.Print(res.Collector.MessageReport())
+	if verbose {
+		for _, name := range res.Collector.SeriesNames() {
+			fmt.Printf("series %s:\n", name)
+			for _, s := range res.Collector.Series(name) {
+				fmt.Printf("  %10v  p%-2d  %d\n", s.At, s.Proc, s.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTableToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "exp.md")
+	err := run([]string{"-seeds", "1", "-only", "Table 6", "-o", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "### Table 6") {
+		t.Fatalf("output missing Table 6:\n%s", s)
+	}
+	if strings.Contains(s, "### Table 1 ") {
+		t.Fatal("-only leaked other tables")
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	if err := run([]string{"-seeds", "1", "-only", "Table 6", "-format", "text"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-format", "nope"}); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"-seeds", "1", "-only", "Table 99"}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunMemTransport(t *testing.T) {
+	err := run([]string{"-n", "3", "-delta", "10ms", "-unstable", "50ms", "-loss", "0.3", "-timeout", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTCP(t *testing.T) {
+	err := run([]string{"-n", "3", "-delta", "10ms", "-tcp", "-timeout", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBConsensus(t *testing.T) {
+	err := run([]string{"-protocol", "bconsensus", "-n", "3", "-delta", "10ms", "-unstable", "30ms", "-timeout", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	if err := run([]string{"-protocol", "paxos"}); err == nil {
+		t.Fatal("traditional paxos needs the simulated oracle; livedemo must refuse")
+	}
+}

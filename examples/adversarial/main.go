@@ -1,0 +1,56 @@
+// Adversarial: the paper's headline comparison. An adversary releases
+// obsolete high-ballot messages from a failed process, one per leader
+// ballot — traditional Paxos (§2) pays a Reject/retry cycle for each, while
+// the modified algorithm's session structure (§4) caps what the adversary
+// can forge and stays O(δ).
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const n = 17
+	delta := 10 * time.Millisecond
+	ts := 200 * time.Millisecond
+
+	fmt.Printf("N=%d processes, δ=%v, stabilization at TS=%v, worst-case delivery.\n", n, delta, ts)
+	fmt.Println("k = number of obsolete high-ballot messages released after TS.")
+	fmt.Println()
+	fmt.Printf("%4s  %22s  %22s\n", "k", "traditional Paxos", "modified Paxos (§4)")
+
+	for _, k := range []int{0, 2, 4, 8} {
+		var lat [2]time.Duration
+		for i, proto := range []repro.Protocol{repro.TraditionalPaxos, repro.ModifiedPaxos} {
+			res, err := repro.Run(repro.Config{
+				Protocol: proto, N: n, Delta: delta, TS: ts,
+				Attack: repro.ObsoleteBallots, AttackK: k,
+				WorstCaseDelays: true, Seed: 7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Violation != nil {
+				log.Fatalf("safety violation: %v", res.Violation)
+			}
+			if !res.Decided {
+				log.Fatalf("%s with k=%d did not decide", proto, k)
+			}
+			lat[i] = res.LatencyAfterTS
+		}
+		fmt.Printf("%4d  %15v (%4.1fδ)  %15v (%4.1fδ)\n",
+			k,
+			lat[0], float64(lat[0])/float64(delta),
+			lat[1], float64(lat[1])/float64(delta))
+	}
+
+	fmt.Println()
+	fmt.Println("Traditional Paxos degrades linearly with k (O(Nδ) with k=⌈N/2⌉−1);")
+	fmt.Println("the modified algorithm absorbs the strongest legal equivalent attack.")
+}

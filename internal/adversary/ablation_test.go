@@ -1,0 +1,99 @@
+package adversary
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// TestAblationEntryRuleIsLoadBearing shows why the majority-session-entry
+// rule exists: with it disabled, a failed process could legally have built
+// arbitrarily high sessions before TS, and the adaptive release of its
+// obsolete messages delays consensus far past the paper's bound. With the
+// rule enabled, the strongest legal attack (session-capped) is absorbed.
+func TestAblationEntryRuleIsLoadBearing(t *testing.T) {
+	const n = 5
+	const delta = 10 * time.Millisecond
+	ts := 100 * time.Millisecond
+	victims := []consensus.ProcessID{0, 1, 2, 3}
+
+	run := func(disableRule bool, k int) time.Duration {
+		eng := sim.NewEngine(5)
+		factory := modpaxos.MustNew(modpaxos.Config{Delta: delta, Rho: 0.01, DisableEntryRule: disableRule})
+		nw, err := simnet.New(eng, simnet.Config{
+			N: n, Delta: delta, TS: ts, MinDelay: delta, // worst-case delivery
+			Policy: simnet.DropAll{}, Rho: 0.01,
+		}, factory, proposals(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disableRule {
+			ReactiveSessionAttack{K: k, From: 4, Victims: victims}.Install(nw)
+		} else {
+			Apply(nw, SessionCappedAttack{K: k, From: 4, Victims: victims, Cap: 2}.Build(n, delta, ts))
+		}
+		nw.StartExcept(4)
+		ok, err := nw.RunUntilAllDecided(time.Minute)
+		if err != nil {
+			t.Fatalf("disableRule=%v k=%d: safety violation: %v", disableRule, k, err)
+		}
+		if !ok {
+			t.Fatalf("disableRule=%v k=%d: no decision", disableRule, k)
+		}
+		last, _ := nw.Checker().LastDecisionAmong(nw.UpIDs())
+		return last - ts
+	}
+
+	bound, err := modpaxos.DecisionBound(modpaxos.Config{Delta: delta, Rho: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withRule := run(false, 8)
+	if withRule > bound {
+		t.Fatalf("rule enabled: %v exceeds bound %v", withRule, bound)
+	}
+	ablated := run(true, 8)
+	if ablated <= bound {
+		t.Fatalf("ablated algorithm still within bound (%v ≤ %v); attack not biting", ablated, bound)
+	}
+	// Growth with k: more obsolete sessions, more delay.
+	ablated4 := run(true, 4)
+	if ablated <= ablated4 {
+		t.Fatalf("ablated latency not growing with k: k4=%v k8=%v", ablated4, ablated)
+	}
+	t.Logf("with rule: %v; ablated k=4: %v; ablated k=8: %v (bound %v)", withRule, ablated4, ablated, bound)
+}
+
+// TestAblationHeartbeatIsLoadBearing shows why the ε-heartbeat exists: with
+// every pre-TS message lost and no heartbeat, communication is never
+// re-established after TS and the cluster cannot decide.
+func TestAblationHeartbeatIsLoadBearing(t *testing.T) {
+	const n = 5
+	const delta = 10 * time.Millisecond
+	ts := 100 * time.Millisecond
+
+	eng := sim.NewEngine(6)
+	factory := modpaxos.MustNew(modpaxos.Config{Delta: delta, Rho: 0.01, DisableHeartbeat: true})
+	nw, err := simnet.New(eng, simnet.Config{
+		N: n, Delta: delta, TS: ts, Policy: simnet.DropAll{}, Rho: 0.01,
+	}, factory, proposals(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	ok, err := nw.RunUntilAllDecided(ts + 100*delta) // 100δ of post-TS time
+	if err != nil {
+		t.Fatalf("safety violation: %v", err)
+	}
+	if ok {
+		t.Fatal("cluster decided without the heartbeat despite total pre-TS loss")
+	}
+	if nw.Checker().DecidedCount() != 0 {
+		t.Fatalf("%d processes decided", nw.Checker().DecidedCount())
+	}
+}

@@ -1,0 +1,106 @@
+// Package clock provides the clock models used throughout the repository:
+// drifting physical clocks with a bounded rate error (the paper's ρ), and
+// Lamport logical clocks (used by the §5 message-delivery oracle).
+package clock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Drift models a process-local physical clock as an affine function of
+// global time:
+//
+//	local(t) = Offset + Rate·(t − Start)   for global time t ≥ Start.
+//
+// The paper assumes that after stabilization every clock has a rate error of
+// at most ρ ≪ 1, i.e. Rate ∈ [1−ρ, 1+ρ]. Offset may be arbitrary: the paper
+// never assumes synchronized clocks, only bounded rates.
+//
+// The zero value is a perfect clock (Rate treated as 1, no offset).
+type Drift struct {
+	// Rate is the speed of the local clock relative to global time.
+	// A Rate of 0 is interpreted as 1 (so the zero value is usable).
+	Rate float64
+	// Offset is the local clock reading at global time Start.
+	Offset time.Duration
+	// Start is the global time at which this clock description begins.
+	Start time.Duration
+}
+
+// Perfect returns a drift-free clock with zero offset.
+func Perfect() Drift { return Drift{Rate: 1} }
+
+// WithRate returns a zero-offset clock running at the given rate.
+func WithRate(rate float64) Drift { return Drift{Rate: rate} }
+
+// rate returns the effective rate, mapping the zero value to 1.
+func (d Drift) rate() float64 {
+	if d.Rate == 0 {
+		return 1
+	}
+	return d.Rate
+}
+
+// Local converts a global time to this clock's local reading.
+func (d Drift) Local(global time.Duration) time.Duration {
+	return d.Offset + time.Duration(float64(global-d.Start)*d.rate())
+}
+
+// Global converts a local clock reading back to global time. It is the
+// inverse of Local.
+func (d Drift) Global(local time.Duration) time.Duration {
+	return d.Start + time.Duration(float64(local-d.Offset)/d.rate())
+}
+
+// GlobalElapsed returns the global time that passes while the local clock
+// advances by the given local duration.
+func (d Drift) GlobalElapsed(local time.Duration) time.Duration {
+	return time.Duration(float64(local) / d.rate())
+}
+
+// LocalElapsed returns the local-clock advance over the given global
+// duration.
+func (d Drift) LocalElapsed(global time.Duration) time.Duration {
+	return time.Duration(float64(global) * d.rate())
+}
+
+// Validate reports an error if the drift is not a usable clock (non-positive
+// rate).
+func (d Drift) Validate() error {
+	if d.rate() <= 0 {
+		return fmt.Errorf("clock: non-positive rate %v", d.Rate)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (d Drift) String() string {
+	return fmt.Sprintf("Drift{rate=%.4f offset=%v}", d.rate(), d.Offset)
+}
+
+// TimerBudget computes the local-clock duration a process should arm a timer
+// with so that, for any clock rate in [1−rho, 1+rho], the timer fires no
+// earlier than minGlobal global seconds after it is set. The worst case for
+// firing early is a fast clock (rate 1+rho).
+//
+// This is exactly the paper's session-timer construction (§4): the process
+// wants a timeout in the global window [4δ, σ]; arming
+// TimerBudget(4δ, ρ) = 4δ·(1+ρ) local seconds guarantees the lower edge, and
+// the upper edge is MaxGlobal(TimerBudget(4δ,ρ), ρ) = 4δ·(1+ρ)/(1−ρ) ≤ σ.
+func TimerBudget(minGlobal time.Duration, rho float64) time.Duration {
+	return time.Duration(float64(minGlobal) * (1 + rho))
+}
+
+// MaxGlobal returns the largest global duration a timer armed with the given
+// local duration can take to fire, over all rates in [1−rho, 1+rho]. The
+// worst case is a slow clock (rate 1−rho).
+func MaxGlobal(local time.Duration, rho float64) time.Duration {
+	return time.Duration(float64(local) / (1 - rho))
+}
+
+// SigmaFor returns the smallest σ compatible with the paper's session-timer
+// requirement for a given δ and ρ: σ = 4δ·(1+ρ)/(1−ρ) ≥ 4δ.
+func SigmaFor(delta time.Duration, rho float64) time.Duration {
+	return MaxGlobal(TimerBudget(4*delta, rho), rho)
+}

@@ -1,0 +1,158 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueIsPerfectClock(t *testing.T) {
+	var d Drift
+	if got := d.Local(10 * time.Second); got != 10*time.Second {
+		t.Fatalf("zero-value Local(10s) = %v, want 10s", got)
+	}
+	if got := d.Global(10 * time.Second); got != 10*time.Second {
+		t.Fatalf("zero-value Global(10s) = %v, want 10s", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("zero value should validate: %v", err)
+	}
+}
+
+func TestLocalGlobalRoundTrip(t *testing.T) {
+	cases := []Drift{
+		Perfect(),
+		WithRate(1.01),
+		WithRate(0.99),
+		{Rate: 1.05, Offset: 3 * time.Second, Start: time.Second},
+		{Rate: 0.9, Offset: -2 * time.Second, Start: 5 * time.Second},
+	}
+	for _, d := range cases {
+		for _, g := range []time.Duration{0, time.Millisecond, time.Second, 90 * time.Second} {
+			local := d.Local(g)
+			back := d.Global(local)
+			if diff := back - g; diff < -time.Microsecond || diff > time.Microsecond {
+				t.Errorf("%v: round trip of %v gave %v (diff %v)", d, g, back, diff)
+			}
+		}
+	}
+}
+
+func TestFastClockReadsAhead(t *testing.T) {
+	fast := WithRate(1.1)
+	slow := WithRate(0.9)
+	g := 10 * time.Second
+	if fast.Local(g) <= g {
+		t.Errorf("fast clock should read ahead of global: %v <= %v", fast.Local(g), g)
+	}
+	if slow.Local(g) >= g {
+		t.Errorf("slow clock should read behind global: %v >= %v", slow.Local(g), g)
+	}
+}
+
+func TestGlobalElapsed(t *testing.T) {
+	// A clock running 10% fast reaches a 1s local timeout in less than 1s
+	// of global time.
+	fast := WithRate(1.1)
+	got := fast.GlobalElapsed(1100 * time.Millisecond)
+	if diff := got - time.Second; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("GlobalElapsed = %v, want ~1s", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := WithRate(-1).Validate(); err == nil {
+		t.Error("negative rate should not validate")
+	}
+	if err := WithRate(1).Validate(); err != nil {
+		t.Errorf("unit rate should validate: %v", err)
+	}
+}
+
+// TestTimerBudgetNeverFiresEarly is the paper's session-timer requirement:
+// a timer armed with TimerBudget(minGlobal, rho) local seconds must take at
+// least minGlobal global seconds to fire, for every rate in [1-rho, 1+rho],
+// and at most SigmaFor(delta, rho) when minGlobal = 4delta.
+func TestTimerBudgetNeverFiresEarly(t *testing.T) {
+	const rho = 0.01
+	delta := 10 * time.Millisecond
+	minGlobal := 4 * delta
+	local := TimerBudget(minGlobal, rho)
+	sigma := SigmaFor(delta, rho)
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		rate := 1 - rho + 2*rho*rng.Float64()
+		d := WithRate(rate)
+		globalToFire := d.GlobalElapsed(local)
+		if globalToFire < minGlobal-time.Microsecond {
+			t.Fatalf("rate %.4f: timer fired after %v global, before the %v floor", rate, globalToFire, minGlobal)
+		}
+		if globalToFire > sigma+time.Microsecond {
+			t.Fatalf("rate %.4f: timer fired after %v global, beyond sigma=%v", rate, globalToFire, sigma)
+		}
+	}
+}
+
+func TestSigmaForApproaches4DeltaForAccurateTimers(t *testing.T) {
+	delta := 10 * time.Millisecond
+	sigma := SigmaFor(delta, 0.0001)
+	if sigma < 4*delta {
+		t.Fatalf("sigma %v below 4delta %v", sigma, 4*delta)
+	}
+	if sigma > 4*delta+delta/100 {
+		t.Fatalf("sigma %v should be within 1%% of 4delta for rho=0.01%%", sigma)
+	}
+}
+
+// Property: Local and Global are inverses (within integer-nanosecond
+// rounding) for all reasonable rates and times.
+func TestQuickLocalGlobalInverse(t *testing.T) {
+	f := func(rateMilli uint16, offMs int32, gMs uint32) bool {
+		rate := 0.5 + float64(rateMilli%1000)/1000.0 // [0.5, 1.5)
+		d := Drift{Rate: rate, Offset: time.Duration(offMs) * time.Millisecond}
+		g := time.Duration(gMs) * time.Millisecond
+		back := d.Global(d.Local(g))
+		diff := back - g
+		return diff >= -time.Microsecond && diff <= time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLamportMonotone(t *testing.T) {
+	var l Lamport
+	prev := l.Now()
+	for i := 0; i < 100; i++ {
+		ts := l.Tick()
+		if ts <= prev {
+			t.Fatalf("Tick not strictly increasing: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestLamportWitness(t *testing.T) {
+	var l Lamport
+	l.Tick() // 1
+	if got := l.Witness(10); got != 11 {
+		t.Fatalf("Witness(10) = %d, want 11", got)
+	}
+	if got := l.Witness(5); got != 12 {
+		t.Fatalf("Witness(5) after 11 = %d, want 12", got)
+	}
+}
+
+// Property: after witnessing any remote timestamp, the next local timestamp
+// strictly exceeds it (the happened-before guarantee the oracle relies on).
+func TestQuickWitnessExceedsRemote(t *testing.T) {
+	f := func(local, remote uint32) bool {
+		l := Lamport{now: uint64(local)}
+		return l.Witness(uint64(remote)) > uint64(remote)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

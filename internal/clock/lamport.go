@@ -1,0 +1,33 @@
+package clock
+
+// Lamport is a Lamport logical clock [Lamport 1978], used by the modified
+// B-Consensus message-delivery oracle (§5): every broadcast is timestamped,
+// and after a process receives a message m, every message it sends carries a
+// timestamp greater than m's.
+//
+// Lamport is not safe for concurrent use; in this repository each process
+// owns its clock and all calls happen on the process's event loop.
+type Lamport struct {
+	now uint64
+}
+
+// Now returns the current logical time without advancing the clock.
+func (l *Lamport) Now() uint64 { return l.now }
+
+// Tick advances the clock for a local event (such as sending a message) and
+// returns the new timestamp.
+func (l *Lamport) Tick() uint64 {
+	l.now++
+	return l.now
+}
+
+// Witness merges an observed remote timestamp into the clock: the clock
+// jumps to max(local, remote) + 1, guaranteeing that every subsequent
+// timestamp exceeds the witnessed one.
+func (l *Lamport) Witness(remote uint64) uint64 {
+	if remote > l.now {
+		l.now = remote
+	}
+	l.now++
+	return l.now
+}

@@ -1,0 +1,265 @@
+package bconsensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const delta = 10 * time.Millisecond
+
+func distinctProposals(n int) []consensus.Value {
+	out := make([]consensus.Value, n)
+	for i := range out {
+		out[i] = consensus.Value(fmt.Sprintf("v%d", i))
+	}
+	return out
+}
+
+func cluster(t *testing.T, seed int64, netCfg simnet.Config) (*sim.Engine, *simnet.Network) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	nw, err := simnet.New(eng, netCfg, MustNew(Config{Delta: netCfg.Delta, Rho: netCfg.Rho}), distinctProposals(netCfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, nw
+}
+
+func requireAllDecided(t *testing.T, nw *simnet.Network, horizon time.Duration) time.Duration {
+	t.Helper()
+	ok, err := nw.RunUntilAllDecided(horizon)
+	if err != nil {
+		t.Fatalf("safety violation: %v", err)
+	}
+	if !ok {
+		t.Fatalf("cluster did not decide by %v (decided %d/%d)",
+			horizon, nw.Checker().DecidedCount(), nw.Config().N)
+	}
+	last, _ := nw.Checker().LastDecisionAmong(nw.UpIDs())
+	return last
+}
+
+func TestDecidesSynchronous(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 9} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			_, nw := cluster(t, 1, simnet.Config{N: n, Delta: delta, TS: 0})
+			nw.Start()
+			last := requireAllDecided(t, nw, 5*time.Second)
+			// One clean round: wab (δ) + hold-back (2δ+) + two vote
+			// stages (2δ) + decided (δ) ≈ 6-7δ.
+			if last > 9*delta {
+				t.Errorf("decided at %v, want ≤ 9δ in one clean round", last)
+			}
+		})
+	}
+}
+
+func TestDecidesODeltaAfterTS(t *testing.T) {
+	// Claim C6: modified B-Consensus decides within O(δ) of TS, with a
+	// delay "about the same as for the modified Paxos algorithm" (~17δ).
+	ts := 300 * time.Millisecond
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		_, nw := cluster(t, seed, simnet.Config{N: 5, Delta: delta, TS: ts, Policy: simnet.DropAll{}, Rho: 0.01})
+		nw.Start()
+		last := requireAllDecided(t, nw, 10*time.Second)
+		if got := last - ts; got > 20*delta {
+			t.Errorf("seed %d: decided %v after TS, want ≤ 20δ", seed, got)
+		}
+	}
+}
+
+func TestDecidesUnderChaos(t *testing.T) {
+	ts := 200 * time.Millisecond
+	for _, seed := range []int64{10, 11, 12, 13, 14} {
+		_, nw := cluster(t, seed, simnet.Config{N: 5, Delta: delta, TS: ts, Policy: simnet.Chaos{DropProb: 0.6}, Rho: 0.01})
+		nw.Start()
+		last := requireAllDecided(t, nw, 10*time.Second)
+		if got := last - ts; got > 25*delta {
+			t.Errorf("seed %d: decided %v after TS", seed, got)
+		}
+	}
+}
+
+func TestFlatInN(t *testing.T) {
+	// Leaderless: latency after TS must not scale with N (contrast with
+	// the rotating-coordinator baseline).
+	ts := 200 * time.Millisecond
+	lat := map[int]time.Duration{}
+	for _, n := range []int{3, 9, 17} {
+		_, nw := cluster(t, 7, simnet.Config{N: n, Delta: delta, TS: ts, Policy: simnet.DropAll{}})
+		nw.Start()
+		last := requireAllDecided(t, nw, 10*time.Second)
+		lat[n] = last - ts
+	}
+	if lat[17] > 3*lat[3]+5*delta {
+		t.Errorf("latency scales with N: %v", lat)
+	}
+}
+
+func TestMinorityCrashStillDecides(t *testing.T) {
+	_, nw := cluster(t, 3, simnet.Config{N: 5, Delta: delta, TS: 0})
+	nw.StartExcept(3, 4)
+	ok, err := nw.RunUntilAllDecided(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("majority did not decide with 2/5 down")
+	}
+}
+
+func TestAgreementWithDistinctProposals(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		_, nw := cluster(t, seed, simnet.Config{N: 5, Delta: delta, TS: 150 * time.Millisecond, Policy: simnet.Chaos{DropProb: 0.5}})
+		nw.Start()
+		requireAllDecided(t, nw, 10*time.Second)
+		if err := nw.Checker().Violation(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRestartedProcessCatchesUp(t *testing.T) {
+	ts := 200 * time.Millisecond
+	eng, nw := cluster(t, 5, simnet.Config{N: 5, Delta: delta, TS: ts, Policy: simnet.DropAll{}})
+	nw.Start()
+	nw.CrashAt(4, 50*time.Millisecond)
+	restartAt := ts + 500*time.Millisecond
+	nw.RestartAt(4, restartAt)
+	eng.RunUntil(func() bool {
+		_, d := nw.Node(4).Decided()
+		return d
+	}, 10*time.Second)
+	if err := nw.Checker().Violation(); err != nil {
+		t.Fatal(err)
+	}
+	at, decided := nw.Node(4).DecidedAtGlobal()
+	if !decided {
+		t.Fatal("restarted process did not decide")
+	}
+	if got := at - restartAt; got > 4*delta {
+		t.Errorf("restarted process took %v after restart, want ≤ 4δ", got)
+	}
+}
+
+func TestOracleDeliversSameOrderAfterTS(t *testing.T) {
+	// The §5 oracle property: after TS+2δ, the per-process sequences of
+	// w-adelivered rounds must be consistent (we check the first
+	// delivery of each round seeds the same estimate everywhere via the
+	// agreement of FIRST votes — observable as: every process that emits
+	// "wadeliver" for round r after TS+2δ proceeds to a decision without
+	// conflicting votes, which the checker enforces).
+	ts := 200 * time.Millisecond
+	_, nw := cluster(t, 9, simnet.Config{N: 5, Delta: delta, TS: ts, Policy: simnet.Chaos{DropProb: 0.5}})
+	nw.Start()
+	requireAllDecided(t, nw, 10*time.Second)
+	if len(nw.Collector().Series("wadeliver")) == 0 {
+		t.Fatal("no oracle deliveries recorded")
+	}
+}
+
+func TestRoundJumpingSkipsIntermediateRounds(t *testing.T) {
+	// A process isolated before TS stays in a low round; when the
+	// partition heals it must jump directly to the group's round, not
+	// execute every intermediate round.
+	ts := 400 * time.Millisecond
+	eng := sim.NewEngine(4)
+	groups := map[consensus.ProcessID]int{0: 0, 1: 0, 2: 0, 3: 0, 4: 1}
+	nw, err := simnet.New(eng, simnet.Config{
+		N: 5, Delta: delta, TS: ts,
+		Policy: simnet.Partition{Group: groups},
+	}, MustNew(Config{Delta: delta}), distinctProposals(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Start()
+	requireAllDecided(t, nw, 10*time.Second)
+
+	// Process 4's round series must not enumerate every round: the jump
+	// shows up as an increment > 1 somewhere, or process 4 decided
+	// having observed at most a couple of rounds. (Pre-TS the majority
+	// partition burns through rounds; 4 is stuck in round 0.)
+	series := nw.Collector().Series("round")
+	maxOthers, p4Entries := int64(0), 0
+	var p4Jump bool
+	var p4Prev int64 = -1
+	for _, s := range series {
+		if s.Proc == 4 {
+			p4Entries++
+			if p4Prev >= 0 && s.Value > p4Prev+1 {
+				p4Jump = true
+			}
+			p4Prev = s.Value
+		} else if s.Value > maxOthers {
+			maxOthers = s.Value
+		}
+	}
+	if maxOthers < 2 {
+		t.Skipf("majority partition only reached round %d; jump not exercised", maxOthers)
+	}
+	if !p4Jump && p4Entries > int(maxOthers)+1 {
+		t.Errorf("process 4 executed %d round entries up to round %d without jumping", p4Entries, maxOthers)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Delta: delta, Rho: 1},
+		{Delta: delta, Eps: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestSafetyUnderRandomSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			eng := sim.NewEngine(seed)
+			rng := eng.Rand()
+			n := 3 + rng.Intn(4)
+			ts := time.Duration(100+rng.Intn(200)) * time.Millisecond
+			nw, err := simnet.New(eng, simnet.Config{
+				N: n, Delta: delta, TS: ts,
+				Policy: simnet.Chaos{DropProb: 0.3 + 0.5*rng.Float64()},
+				Rho:    0.02 * rng.Float64(),
+			}, MustNew(Config{Delta: delta, Rho: 0.02}), distinctProposals(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw.Start()
+			crashes := rng.Intn(consensus.Majority(n))
+			for i := 0; i < crashes; i++ {
+				id := consensus.ProcessID(rng.Intn(n))
+				at := time.Duration(rng.Int63n(int64(ts)))
+				nw.CrashAt(id, at)
+				nw.RestartAt(id, at+time.Duration(rng.Int63n(int64(ts))))
+			}
+			ok, err := nw.RunUntilAllDecided(30 * time.Second)
+			if err != nil {
+				t.Fatalf("safety violation: %v", err)
+			}
+			if !ok {
+				t.Fatalf("no decision by horizon (decided %d/%d)", nw.Checker().DecidedCount(), n)
+			}
+		})
+	}
+}

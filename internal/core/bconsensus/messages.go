@@ -1,0 +1,48 @@
+package bconsensus
+
+import "repro/internal/core/consensus"
+
+// Wab is a stage-1 message w-abcast through the ordering oracle. LC is the
+// sender's Lamport timestamp; the oracle delivers Wab messages in
+// (LC, sender) order after a 2δ hold-back.
+type Wab struct {
+	LC    uint64
+	Round int64
+	Est   consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Wab) Type() string { return "wab" }
+
+// First is a stage-2 vote: the sender adopted Est from the oracle's first
+// round-Round delivery.
+type First struct {
+	LC    uint64
+	Round int64
+	Est   consensus.Value
+}
+
+// Type implements consensus.Message.
+func (First) Type() string { return "first" }
+
+// Second is a stage-3 vote: HasV reports whether the sender observed a
+// majority value V in stage 2 (V is meaningless when HasV is false). Est is
+// the sender's current estimate, carried for round jumping.
+type Second struct {
+	LC    uint64
+	Round int64
+	Est   consensus.Value
+	HasV  bool
+	V     consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Second) Type() string { return "second" }
+
+// Decided announces a decision.
+type Decided struct {
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Decided) Type() string { return "decided" }

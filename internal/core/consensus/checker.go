@@ -1,0 +1,168 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Decision records one process's irrevocable decision.
+type Decision struct {
+	Proc  ProcessID
+	Value Value
+	// At is the global time of the decision (supplied by the substrate,
+	// not the process's drifting clock).
+	At time.Duration
+}
+
+// SafetyChecker validates the three standard consensus safety properties as
+// decisions arrive:
+//
+//   - Agreement: no two processes decide different values.
+//   - Validity: every decided value was proposed by some process.
+//   - Integrity: a process decides at most once (re-deciding the same value,
+//     e.g. after a restart, is permitted and idempotent).
+//
+// The checker is safe for concurrent use so the live runtime can share it
+// across node goroutines.
+type SafetyChecker struct {
+	mu        sync.Mutex
+	proposals map[ProcessID]Value
+	decisions map[ProcessID]Decision
+	order     []Decision
+	violation error
+}
+
+// NewSafetyChecker returns an empty checker.
+func NewSafetyChecker() *SafetyChecker {
+	return &SafetyChecker{
+		proposals: make(map[ProcessID]Value),
+		decisions: make(map[ProcessID]Decision),
+	}
+}
+
+// RecordProposal registers the value proposed by p (used for validity).
+func (c *SafetyChecker) RecordProposal(p ProcessID, v Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.proposals[p] = v
+}
+
+// RecordDecision registers a decision, returning an error (and remembering
+// it) if the decision violates agreement, validity, or integrity.
+func (c *SafetyChecker) RecordDecision(d Decision) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if prev, ok := c.decisions[d.Proc]; ok {
+		if prev.Value != d.Value {
+			return c.violate("integrity: process %d decided %q at %v then %q at %v",
+				d.Proc, prev.Value, prev.At, d.Value, d.At)
+		}
+		return nil // idempotent re-decision (e.g. after restart)
+	}
+	for _, other := range c.decisions {
+		if other.Value != d.Value {
+			return c.violate("agreement: process %d decided %q but process %d decided %q",
+				other.Proc, other.Value, d.Proc, d.Value)
+		}
+	}
+	valid := false
+	for _, v := range c.proposals {
+		if v == d.Value {
+			valid = true
+			break
+		}
+	}
+	if !valid && len(c.proposals) > 0 {
+		return c.violate("validity: process %d decided %q, which no process proposed", d.Proc, d.Value)
+	}
+	c.decisions[d.Proc] = d
+	c.order = append(c.order, d)
+	return nil
+}
+
+func (c *SafetyChecker) violate(format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	if c.violation == nil {
+		c.violation = err
+	}
+	return err
+}
+
+// Violation returns the first recorded safety violation, or nil.
+func (c *SafetyChecker) Violation() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violation
+}
+
+// Decisions returns a copy of all distinct decisions in arrival order.
+func (c *SafetyChecker) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// DecisionOf returns p's decision, if any.
+func (c *SafetyChecker) DecisionOf(p ProcessID) (Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.decisions[p]
+	return d, ok
+}
+
+// DecidedCount returns the number of processes that have decided.
+func (c *SafetyChecker) DecidedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.decisions)
+}
+
+// AllDecided reports whether every process in ids has decided.
+func (c *SafetyChecker) AllDecided(ids []ProcessID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		if _, ok := c.decisions[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstDecision returns the earliest decision by global time, if any.
+func (c *SafetyChecker) FirstDecision() (Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.order) == 0 {
+		return Decision{}, false
+	}
+	best := c.order[0]
+	for _, d := range c.order[1:] {
+		if d.At < best.At {
+			best = d
+		}
+	}
+	return best, true
+}
+
+// LastDecisionAmong returns the latest decision time among the given
+// processes, and whether all of them have decided.
+func (c *SafetyChecker) LastDecisionAmong(ids []ProcessID) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var last time.Duration
+	for _, id := range ids {
+		d, ok := c.decisions[id]
+		if !ok {
+			return 0, false
+		}
+		if d.At > last {
+			last = d.At
+		}
+	}
+	return last, true
+}

@@ -1,0 +1,88 @@
+package consensustest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+)
+
+type ping struct{}
+
+func (ping) Type() string { return "ping" }
+
+type pong struct{}
+
+func (pong) Type() string { return "pong" }
+
+func TestOutboxAndHelpers(t *testing.T) {
+	e := New(1, 3)
+	e.Send(0, ping{})
+	e.Broadcast(pong{})
+	if len(e.Outbox) != 4 {
+		t.Fatalf("outbox = %d entries, want 1 + 3", len(e.Outbox))
+	}
+	if got := e.CountType("pong"); got != 3 {
+		t.Fatalf("CountType(pong) = %d, want 3", got)
+	}
+	if got := e.BroadcastsOf("pong"); got != 1 {
+		t.Fatalf("BroadcastsOf(pong) = %d, want 1", got)
+	}
+	if got := e.SentTo(0); len(got) != 2 {
+		t.Fatalf("SentTo(0) = %d messages, want ping+pong", len(got))
+	}
+	e.ClearOutbox()
+	if len(e.Outbox) != 0 {
+		t.Fatal("ClearOutbox left entries")
+	}
+}
+
+func TestTimersAndArmings(t *testing.T) {
+	e := New(0, 1)
+	e.SetTimer(1, time.Second)
+	e.SetTimer(1, 2*time.Second)
+	if e.Timers[1] != 2*time.Second {
+		t.Fatalf("timer duration = %v, want latest", e.Timers[1])
+	}
+	if e.Armings[1] != 2 {
+		t.Fatalf("armings = %d, want 2", e.Armings[1])
+	}
+	e.CancelTimer(1)
+	if _, ok := e.Timers[1]; ok {
+		t.Fatal("cancel left the timer armed")
+	}
+	if len(e.Canceled) != 1 || e.Canceled[0] != 1 {
+		t.Fatalf("canceled = %v", e.Canceled)
+	}
+}
+
+func TestDecisionsEmitLogsClock(t *testing.T) {
+	e := New(0, 1)
+	if _, ok := e.Decided(); ok {
+		t.Fatal("fresh env decided")
+	}
+	e.Decide("v")
+	e.Decide("v")
+	if v, ok := e.Decided(); !ok || v != "v" {
+		t.Fatalf("Decided = (%q,%v)", v, ok)
+	}
+	if len(e.Decisions) != 2 {
+		t.Fatal("every Decide call must be recorded")
+	}
+	e.Emit("round", 7)
+	if e.Emitted["round"][0] != 7 {
+		t.Fatalf("Emitted = %v", e.Emitted)
+	}
+	e.Logf("x=%d", 1)
+	if len(e.Logs) != 1 || e.Logs[0] != "x=1" {
+		t.Fatalf("Logs = %v", e.Logs)
+	}
+	e.Clock = 5 * time.Second
+	if e.Now() != 5*time.Second {
+		t.Fatal("Now must reflect Clock")
+	}
+	if e.ID() != 0 || e.N() != 1 || e.Rand() == nil || e.Store() == nil {
+		t.Fatal("identity accessors broken")
+	}
+	var _ consensus.Environment = e
+}

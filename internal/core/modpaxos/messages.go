@@ -1,0 +1,49 @@
+package modpaxos
+
+import "repro/internal/core/consensus"
+
+// P1a is a phase 1a message for ballot Bal. It doubles as the session
+// announcement and the ε-heartbeat; it is treated as if sent by the
+// ballot's owner, Bal mod N.
+type P1a struct {
+	Bal consensus.Ballot
+}
+
+// Type implements consensus.Message.
+func (P1a) Type() string { return "p1a" }
+
+// P1b is a phase 1b answer carrying the acceptor's highest acceptance.
+type P1b struct {
+	Bal  consensus.Ballot
+	ABal consensus.Ballot
+	AVal consensus.Value
+}
+
+// Type implements consensus.Message.
+func (P1b) Type() string { return "p1b" }
+
+// P2a proposes Val at ballot Bal.
+type P2a struct {
+	Bal consensus.Ballot
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (P2a) Type() string { return "p2a" }
+
+// P2b reports acceptance of Val at Bal; it is broadcast to every process.
+type P2b struct {
+	Bal consensus.Ballot
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (P2b) Type() string { return "p2b" }
+
+// Decided announces a decision.
+type Decided struct {
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Decided) Type() string { return "decided" }

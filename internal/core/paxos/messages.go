@@ -1,0 +1,60 @@
+package paxos
+
+import "repro/internal/core/consensus"
+
+// P1a is a phase 1a ("prepare") message for ballot Bal. It is treated as if
+// sent by the ballot's owner, Bal mod N.
+type P1a struct {
+	Bal consensus.Ballot
+}
+
+// Type implements consensus.Message.
+func (P1a) Type() string { return "p1a" }
+
+// P1b is a phase 1b ("promise") answer: the acceptor has set mbal to Bal and
+// reports its highest acceptance (ABal, AVal), with ABal = NoBallot if it
+// has accepted nothing.
+type P1b struct {
+	Bal  consensus.Ballot
+	ABal consensus.Ballot
+	AVal consensus.Value
+}
+
+// Type implements consensus.Message.
+func (P1b) Type() string { return "p1b" }
+
+// P2a is a phase 2a ("accept") message proposing Val at ballot Bal.
+type P2a struct {
+	Bal consensus.Ballot
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (P2a) Type() string { return "p2a" }
+
+// P2b is a phase 2b ("accepted") message, broadcast to all processes.
+type P2b struct {
+	Bal consensus.Ballot
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (P2b) Type() string { return "p2b" }
+
+// Reject tells a ballot's owner that the sender has promised a higher
+// ballot (its current mbal). Only the traditional algorithm uses Reject;
+// the modified algorithm's timeouts make it unnecessary (§4).
+type Reject struct {
+	Bal consensus.Ballot
+}
+
+// Type implements consensus.Message.
+func (Reject) Type() string { return "reject" }
+
+// Decided announces a decision; recipients decide immediately.
+type Decided struct {
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Decided) Type() string { return "decided" }

@@ -1,0 +1,199 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/leader"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+const delta = 10 * time.Millisecond
+
+func distinctProposals(n int) []consensus.Value {
+	out := make([]consensus.Value, n)
+	for i := range out {
+		out[i] = consensus.Value(fmt.Sprintf("v%d", i))
+	}
+	return out
+}
+
+func cluster(t *testing.T, seed int64, netCfg simnet.Config, lead consensus.ProcessID) (*sim.Engine, *simnet.Network) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	nw, err := simnet.New(eng, netCfg, New(Config{Delta: netCfg.Delta}), distinctProposals(netCfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader.Install(nw, leader.Config{Stable: lead})
+	return eng, nw
+}
+
+func requireAllDecided(t *testing.T, nw *simnet.Network, horizon time.Duration) time.Duration {
+	t.Helper()
+	ok, err := nw.RunUntilAllDecided(horizon)
+	if err != nil {
+		t.Fatalf("safety violation: %v", err)
+	}
+	if !ok {
+		t.Fatalf("cluster did not decide by %v (decided %d/%d)",
+			horizon, nw.Checker().DecidedCount(), nw.Config().N)
+	}
+	last, _ := nw.Checker().LastDecisionAmong(nw.UpIDs())
+	return last
+}
+
+func TestDecidesSynchronous(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 9} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			_, nw := cluster(t, 1, simnet.Config{N: n, Delta: delta, TS: 0}, 0)
+			nw.Start()
+			last := requireAllDecided(t, nw, 5*time.Second)
+			// Election at ~0, phase 1+2 ≈ 4δ, decide ≤ ~5δ.
+			if last > 6*delta {
+				t.Errorf("decided at %v, want ≤ 6δ in the stable case", last)
+			}
+		})
+	}
+}
+
+func TestDecidesValueOfHighestAcceptedBallot(t *testing.T) {
+	// Seed one acceptor with a pre-accepted value at a high ballot; the
+	// new leader must choose that value, not its own proposal.
+	eng := sim.NewEngine(1)
+	nw, err := simnet.New(eng, simnet.Config{N: 3, Delta: delta, TS: 0}, New(Config{Delta: delta}), distinctProposals(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant an accepted (ballot, value) pair at process 2 via a direct
+	// phase 2a injection before the leader is announced. The planted
+	// value is process 1's proposal "v1"; leader 0 would propose "v0" if
+	// it (incorrectly) ignored the acceptance it learns in phase 1.
+	planted := consensus.Ballot(7) // owned by process 1
+	nw.Inject(0, 1, 2, P2a{Bal: planted, Val: "v1"})
+	leader.Install(nw, leader.Config{Stable: 0, Period: 20 * delta})
+	nw.Start()
+	requireAllDecided(t, nw, 5*time.Second)
+	for _, d := range nw.Checker().Decisions() {
+		if d.Value != "v1" {
+			t.Fatalf("process %d decided %q, want the planted value v1", d.Proc, d.Value)
+		}
+	}
+}
+
+func TestChaoticLeadershipBeforeTSIsSafe(t *testing.T) {
+	ts := 200 * time.Millisecond
+	eng := sim.NewEngine(4)
+	nw, err := simnet.New(eng, simnet.Config{N: 5, Delta: delta, TS: ts, Policy: simnet.Chaos{DropProb: 0.5}}, New(Config{Delta: delta}), distinctProposals(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader.Install(nw, leader.Config{Stable: 2, ChaoticBeforeTS: true})
+	nw.Start()
+	requireAllDecided(t, nw, 10*time.Second)
+	if err := nw.Checker().Violation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinorityCrashStillDecides(t *testing.T) {
+	_, nw := cluster(t, 3, simnet.Config{N: 5, Delta: delta, TS: 0}, 0)
+	nw.StartExcept(3, 4)
+	ok, err := nw.RunUntilAllDecided(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("majority did not decide with 2/5 down")
+	}
+}
+
+func TestRestartResumesAndDecides(t *testing.T) {
+	ts := 150 * time.Millisecond
+	eng, nw := cluster(t, 5, simnet.Config{N: 3, Delta: delta, TS: ts, Policy: simnet.DropAll{}}, 0)
+	nw.Start()
+	nw.CrashAt(2, 40*time.Millisecond)
+	restartAt := ts + 300*time.Millisecond
+	nw.RestartAt(2, restartAt)
+	eng.RunUntil(func() bool {
+		_, d := nw.Node(2).Decided()
+		return d
+	}, 5*time.Second)
+	if err := nw.Checker().Violation(); err != nil {
+		t.Fatal(err)
+	}
+	at, decided := nw.Node(2).DecidedAtGlobal()
+	if !decided {
+		t.Fatal("restarted process did not decide")
+	}
+	// Decision gossip runs every 2δ: recovery within ~4δ.
+	if got := at - restartAt; got > 5*delta {
+		t.Errorf("restarted process took %v to decide", got)
+	}
+}
+
+func TestNextOwned(t *testing.T) {
+	cases := []struct {
+		atLeast consensus.Ballot
+		owner   consensus.ProcessID
+		n       int
+		want    consensus.Ballot
+	}{
+		{0, 0, 5, 0},
+		{1, 0, 5, 5},
+		{5, 2, 5, 7},
+		{8, 2, 5, 12},
+		{7, 2, 5, 7},
+		{100, 3, 5, 103},
+	}
+	for _, c := range cases {
+		if got := nextOwned(c.atLeast, c.owner, c.n); got != c.want {
+			t.Errorf("nextOwned(%d, %d, %d) = %d, want %d", c.atLeast, c.owner, c.n, got, c.want)
+		}
+		got := nextOwned(c.atLeast, c.owner, c.n)
+		if got < c.atLeast || got.Owner(c.n) != c.owner {
+			t.Errorf("nextOwned(%d, %d, %d) = %d violates contract", c.atLeast, c.owner, c.n, got)
+		}
+	}
+}
+
+func TestSafetyUnderRandomSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			eng := sim.NewEngine(seed)
+			rng := eng.Rand()
+			n := 3 + rng.Intn(4)
+			ts := time.Duration(100+rng.Intn(200)) * time.Millisecond
+			nw, err := simnet.New(eng, simnet.Config{
+				N: n, Delta: delta, TS: ts,
+				Policy: simnet.Chaos{DropProb: 0.3 + 0.5*rng.Float64()},
+			}, New(Config{Delta: delta}), distinctProposals(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			leader.Install(nw, leader.Config{Stable: consensus.ProcessID(rng.Intn(n)), ChaoticBeforeTS: true})
+			nw.Start()
+			crashes := rng.Intn(consensus.Majority(n))
+			for i := 0; i < crashes; i++ {
+				id := consensus.ProcessID(rng.Intn(n))
+				at := time.Duration(rng.Int63n(int64(ts)))
+				nw.CrashAt(id, at)
+				nw.RestartAt(id, at+time.Duration(rng.Int63n(int64(ts))))
+			}
+			ok, err := nw.RunUntilAllDecided(20 * time.Second)
+			if err != nil {
+				t.Fatalf("safety violation: %v", err)
+			}
+			if !ok {
+				t.Fatalf("no decision by horizon (decided %d/%d)", nw.Checker().DecidedCount(), n)
+			}
+		})
+	}
+}

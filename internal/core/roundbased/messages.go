@@ -1,0 +1,48 @@
+package roundbased
+
+import "repro/internal/core/consensus"
+
+// InRound announces that the sender has begun the given round; the
+// majority-entry rule counts these.
+type InRound struct {
+	Round int64
+}
+
+// Type implements consensus.Message.
+func (InRound) Type() string { return "inround" }
+
+// Estimate carries a process's current estimate and its lock round to the
+// round's coordinator.
+type Estimate struct {
+	Round   int64
+	Est     consensus.Value
+	TSRound int64
+}
+
+// Type implements consensus.Message.
+func (Estimate) Type() string { return "estimate" }
+
+// Coord is the coordinator's chosen value for the round.
+type Coord struct {
+	Round int64
+	V     consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Coord) Type() string { return "coord" }
+
+// Ack confirms that the sender adopted the coordinator's value.
+type Ack struct {
+	Round int64
+}
+
+// Type implements consensus.Message.
+func (Ack) Type() string { return "ack" }
+
+// Decided announces a decision.
+type Decided struct {
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Decided) Type() string { return "decided" }

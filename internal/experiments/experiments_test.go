@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastParams keeps experiment tests quick: fewer seeds.
+func fastParams() Params {
+	p := DefaultParams()
+	p.Seeds = 2
+	return p
+}
+
+// parseDelta reads a "12.34δ" cell back into a float.
+func parseDelta(t *testing.T, cell string) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(cell, "δ")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a δ-multiple: %v", cell, err)
+	}
+	return v
+}
+
+func TestTable1ShapeHolds(t *testing.T) {
+	tab, err := Table1LatencyVsN(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(tab.Rows))
+	}
+	// Columns: N, mod-paxos, trad-paxos+attack, round-based+attack, bcons.
+	firstRow, lastRow := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+
+	// The paper's shape: the baselines degrade with N, the modified
+	// algorithms stay flat (within 1.7× across an 11× N growth).
+	modFirst, modLast := parseDelta(t, firstRow[1]), parseDelta(t, lastRow[1])
+	if modLast > 1.7*modFirst+2 {
+		t.Errorf("modified paxos not flat in N: %.1fδ → %.1fδ", modFirst, modLast)
+	}
+	bconsFirst, bconsLast := parseDelta(t, firstRow[4]), parseDelta(t, lastRow[4])
+	if bconsLast > 1.7*bconsFirst+2 {
+		t.Errorf("b-consensus not flat in N: %.1fδ → %.1fδ", bconsFirst, bconsLast)
+	}
+	// Each obsolete ballot costs the leader ≈1–2δ; from k=1 (N=3) to
+	// k=16 (N=33) the absolute growth must be clearly linear-in-N.
+	tradFirst, tradLast := parseDelta(t, firstRow[2]), parseDelta(t, lastRow[2])
+	if tradLast < tradFirst+4 {
+		t.Errorf("traditional paxos not degrading with N: %.1fδ → %.1fδ", tradFirst, tradLast)
+	}
+	rbFirst, rbLast := parseDelta(t, firstRow[3]), parseDelta(t, lastRow[3])
+	if rbLast < 2*rbFirst {
+		t.Errorf("round-based not degrading with N: %.1fδ → %.1fδ", rbFirst, rbLast)
+	}
+	// At N=33 the modified algorithm must beat both baselines.
+	if modLast >= tradLast || modLast >= rbLast {
+		t.Errorf("modified paxos (%.1fδ) should beat baselines (%.1fδ, %.1fδ) at N=33", modLast, tradLast, rbLast)
+	}
+}
+
+func TestTable2LinearInDeltaAndUnderBound(t *testing.T) {
+	tab, err := Table2LatencyVsDelta(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		med, bound := parseDelta(t, row[2]), parseDelta(t, row[4])
+		if med > bound {
+			t.Errorf("δ=%s: median %.1fδ exceeds bound %.1fδ", row[0], med, bound)
+		}
+		// Under DropAll nothing is in flight at TS, so the cluster can
+		// decide in session s0+1 without the full ladder — but it still
+		// needs heartbeat + phase 1 + phase 2 round trips (> 1.5δ).
+		if med < 1.5 {
+			t.Errorf("δ=%s: median %.1fδ below the post-TS message pipeline (suspicious)", row[0], med)
+		}
+	}
+}
+
+func TestTable3RecoveryWithinODelta(t *testing.T) {
+	tab, err := Table3RestartRecovery(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if max := parseDelta(t, row[3]); max > 5 {
+			t.Errorf("offset %s: max recovery %.1fδ, want ≤ 5δ", row[0], max)
+		}
+	}
+}
+
+func TestTable4RateFallsLatencyRises(t *testing.T) {
+	tab, err := Table4EpsilonTradeoff(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	rateFirst, _ := strconv.ParseFloat(first[1], 64)
+	rateLast, _ := strconv.ParseFloat(last[1], 64)
+	if rateLast >= rateFirst {
+		t.Errorf("heartbeat rate should fall as ε grows: %.1f → %.1f", rateFirst, rateLast)
+	}
+	latFirst, latLast := parseDelta(t, first[2]), parseDelta(t, last[2])
+	if latLast <= latFirst {
+		t.Errorf("latency should rise as ε grows: %.1fδ → %.1fδ", latFirst, latLast)
+	}
+}
+
+func TestFigure1LadderAndDecision(t *testing.T) {
+	tab, err := Figure1SessionConvergence(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("expected at least two session entries plus the decision, got %d rows", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "last process decides" {
+		t.Fatalf("last row should be the decision, got %q", last[0])
+	}
+	if dec := parseDelta(t, last[2]); dec > 19 {
+		t.Errorf("decision at %.1fδ after TS, want within the ≈18δ bound", dec)
+	}
+}
+
+func TestTable5ContrastHolds(t *testing.T) {
+	tab, err := Table5ObsoleteBallots(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k2, kMax := tab.Rows[0], tab.Rows[1], tab.Rows[len(tab.Rows)-1]
+	tradGrowth := parseDelta(t, kMax[1]) - parseDelta(t, k0[1])
+	if tradGrowth < 5 {
+		t.Errorf("traditional paxos grew only %.1fδ over k sweep", tradGrowth)
+	}
+	// The first obsolete message costs modified Paxos one session rung
+	// (the cluster climbs to the injected session's +1 before a clean
+	// ballot); additional messages must be free — flat from k=2 on.
+	modGrowth := parseDelta(t, kMax[2]) - parseDelta(t, k2[2])
+	if modGrowth > 1 {
+		t.Errorf("modified paxos grew %.1fδ from k=2 to k=8, want ≈0", modGrowth)
+	}
+}
+
+func TestTable6ThreeDelayFastPath(t *testing.T) {
+	tab, err := Table6StablePath(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if lat := parseDelta(t, row[1]); lat > 3 {
+			t.Errorf("N=%s: stable path took %.1fδ, want ≤ 3δ", row[0], lat)
+		}
+	}
+	// Message count grows quadratically-ish: N=17 ≫ N=3.
+	m3, _ := strconv.Atoi(tab.Rows[0][2])
+	m17, _ := strconv.Atoi(tab.Rows[len(tab.Rows)-1][2])
+	if m17 < 9*m3 {
+		t.Errorf("phase-2 traffic not ~quadratic: N=3 %d vs N=17 %d", m3, m17)
+	}
+}
+
+func TestTable7BoundTracksSigma(t *testing.T) {
+	tab, err := Table7SigmaSweep(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevMed := 0.0
+	for _, row := range tab.Rows {
+		med, bound := parseDelta(t, row[1]), parseDelta(t, row[3])
+		if med > bound {
+			t.Errorf("σ=%s: median %.1fδ above bound %.1fδ", row[0], med, bound)
+		}
+		if med < prevMed-2 {
+			t.Errorf("σ=%s: latency should not fall as σ grows (%.1fδ after %.1fδ)", row[0], med, prevMed)
+		}
+		prevMed = med
+	}
+}
+
+func TestTable8FlatInN(t *testing.T) {
+	tab, err := Table8BConsensus(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := parseDelta(t, tab.Rows[0][1])
+	last := parseDelta(t, tab.Rows[len(tab.Rows)-1][1])
+	if last > 1.7*first+2 {
+		t.Errorf("b-consensus latency scales with N: %.1fδ → %.1fδ", first, last)
+	}
+}
+
+func TestTable9DriftDegradesGracefully(t *testing.T) {
+	tab, err := Table9ClockDrift(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		med, bound := parseDelta(t, row[2]), parseDelta(t, row[3])
+		if med > bound {
+			t.Errorf("ρ=%s: median %.1fδ above bound %.1fδ", row[0], med, bound)
+		}
+	}
+	// Worst clocks should cost more than perfect clocks, but stay O(δ).
+	best := parseDelta(t, tab.Rows[0][2])
+	worst := parseDelta(t, tab.Rows[len(tab.Rows)-1][2])
+	if worst > 2.5*best {
+		t.Errorf("10%% drift more than 2.5×: %.1fδ vs %.1fδ", worst, best)
+	}
+}
+
+func TestMarkdownAndStringRendering(t *testing.T) {
+	tab := Table{
+		ID: "Table X", Title: "demo", Claim: "c",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   "n",
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### Table X", "| a | b |", "| 1 | 2 |", "*n*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	txt := tab.String()
+	if !strings.Contains(txt, "Table X") || !strings.Contains(txt, "1") {
+		t.Errorf("plain rendering broken:\n%s", txt)
+	}
+}
+
+func TestMedianAndMax(t *testing.T) {
+	samples := []time.Duration{30, 10, 20}
+	if m := medianOf(samples); m != 20 {
+		t.Fatalf("medianOf = %v, want 20", m)
+	}
+	if m := maxOf(samples); m != 30 {
+		t.Fatalf("maxOf = %v, want 30", m)
+	}
+	if medianOf(nil) != 0 || maxOf(nil) != 0 {
+		t.Fatal("empty samples should give 0")
+	}
+}
+
+func TestTable10AblationContrast(t *testing.T) {
+	tab, err := Table10EntryRuleAblation(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		enabled, bound := parseDelta(t, row[1]), parseDelta(t, row[3])
+		if enabled > bound {
+			t.Errorf("k=%s: rule-enabled latency %.1fδ exceeds bound %.1fδ", row[0], enabled, bound)
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	ablated, bound := parseDelta(t, last[2]), parseDelta(t, last[3])
+	if ablated <= bound {
+		t.Errorf("ablated k=8 latency %.1fδ should exceed the bound %.1fδ", ablated, bound)
+	}
+	// Linear growth in k for the ablated column.
+	k2, k8 := parseDelta(t, tab.Rows[1][2]), ablated
+	if k8 < 2*k2 {
+		t.Errorf("ablated latency not growing with k: k2=%.1fδ k8=%.1fδ", k2, k8)
+	}
+}
+
+func TestFigure2OracleRoundsEndsWithDecision(t *testing.T) {
+	tab, err := Figure2OracleRounds(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatalf("too few rows: %d", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "last process decides" {
+		t.Fatalf("last row = %q", last[0])
+	}
+	if dec := parseDelta(t, last[2]); dec > 20 {
+		t.Errorf("b-consensus decided %.1fδ after TS, want O(δ)", dec)
+	}
+}
+
+func TestTable11MessageCountsGrowWithN(t *testing.T) {
+	tab, err := Table11MessageComplexity(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 1; col <= 4; col++ {
+		first, _ := strconv.Atoi(tab.Rows[0][col])
+		last, _ := strconv.Atoi(tab.Rows[len(tab.Rows)-1][col])
+		if last <= first {
+			t.Errorf("column %d (%s): messages did not grow with N (%d → %d)",
+				col, tab.Columns[col], first, last)
+		}
+	}
+}

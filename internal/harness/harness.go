@@ -1,0 +1,325 @@
+// Package harness runs complete consensus experiments: it assembles a
+// simulated cluster for a chosen protocol, adversary, and parameter set,
+// runs it to global decision, and extracts the metrics the paper's claims
+// are stated in (decision latency after stabilization, per-process restart
+// recovery, message counts, session/round progressions).
+//
+// Every experiment table in EXPERIMENTS.md and every benchmark in
+// bench_test.go is generated through this package, so the CLI, the
+// benchmarks, and the tests all measure exactly the same code paths.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core/bconsensus"
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+	"repro/internal/core/paxos"
+	"repro/internal/core/roundbased"
+	"repro/internal/leader"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Protocol selects one of the implemented consensus algorithms.
+type Protocol string
+
+// The implemented protocols.
+const (
+	// TraditionalPaxos is the §2 baseline (claim C1).
+	TraditionalPaxos Protocol = "paxos"
+	// ModifiedPaxos is the paper's contribution (§4, claim C3).
+	ModifiedPaxos Protocol = "modpaxos"
+	// RoundBased is the rotating-coordinator baseline (§3, claim C2).
+	RoundBased Protocol = "roundbased"
+	// ModifiedBConsensus is the §5 algorithm (claim C6).
+	ModifiedBConsensus Protocol = "bconsensus"
+)
+
+// Protocols lists all implemented protocols.
+func Protocols() []Protocol {
+	return []Protocol{TraditionalPaxos, ModifiedPaxos, RoundBased, ModifiedBConsensus}
+}
+
+// AttackKind selects the adversarial schedule.
+type AttackKind string
+
+// The implemented adversaries.
+const (
+	// NoAttack runs only the pre-TS network policy.
+	NoAttack AttackKind = "none"
+	// ObsoleteBallots is the §2 attack: adaptive release of obsolete
+	// high-ballot messages (traditional Paxos) or their session-capped
+	// legal equivalent (modified Paxos).
+	ObsoleteBallots AttackKind = "obsolete"
+	// DeadCoordinators keeps the processes coordinating the first rounds
+	// down (§3 attack; also applied to other protocols as plain crashes).
+	DeadCoordinators AttackKind = "deadcoords"
+)
+
+// Config describes one run.
+type Config struct {
+	Protocol Protocol
+	// N is the cluster size.
+	N int
+	// Delta is δ.
+	Delta time.Duration
+	// TS is the stabilization time.
+	TS time.Duration
+	// Policy is the pre-TS network policy (defaults to DropAll when TS>0,
+	// Synchronous otherwise).
+	Policy simnet.Policy
+	// Rho is the clock-rate error bound.
+	Rho float64
+	// Sigma, Eps override the modified-Paxos (and ε for B-Consensus)
+	// parameters; zero uses protocol defaults.
+	Sigma time.Duration
+	Eps   time.Duration
+	// Attack selects the adversary; AttackK is its strength (number of
+	// obsolete ballots or dead coordinators).
+	Attack  AttackKind
+	AttackK int
+	// WorstCaseDelays makes every post-TS delivery take exactly δ (the
+	// model's worst case) instead of a uniform draw from (0, δ]. The
+	// O(Nδ) lower-bound behaviours are sharpest under this setting.
+	WorstCaseDelays bool
+	// Seed drives all randomness.
+	Seed int64
+	// Horizon bounds the run (default 2 minutes of virtual time).
+	Horizon time.Duration
+	// Prepared enables the modified-Paxos stable-state fast path.
+	Prepared bool
+	// Restarts schedules crash/restart pairs.
+	Restarts []Restart
+	// Debug retains per-event logs in the collector.
+	Debug bool
+}
+
+// Restart schedules a crash at CrashAt and (if RestartAt > 0) a restart.
+type Restart struct {
+	Proc      consensus.ProcessID
+	CrashAt   time.Duration
+	RestartAt time.Duration
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Decided reports whether every process that was up at the end
+	// decided within the horizon.
+	Decided bool
+	// Value is the decided value.
+	Value consensus.Value
+	// FirstDecision and LastDecision are global decision times over the
+	// processes that were up at the end.
+	FirstDecision time.Duration
+	LastDecision  time.Duration
+	// LatencyAfterTS is LastDecision − TS (the paper's headline metric),
+	// or LastDecision for runs with TS beyond the last decision.
+	LatencyAfterTS time.Duration
+	// Messages is the total number of messages handed to the network up
+	// to the last decision... (total for the run; see MessagesByType).
+	Messages int
+	// MessagesByType breaks sends down by message type.
+	MessagesByType map[string]int
+	// RestartRecovery maps each restarted process to the gap between its
+	// last restart and its decision.
+	RestartRecovery map[consensus.ProcessID]time.Duration
+	// Collector exposes the raw trace for custom analysis.
+	Collector *trace.Collector
+	// Violation is any safety violation detected (always nil for a
+	// correct implementation; recorded so harness users can assert).
+	Violation error
+}
+
+// factory builds the consensus.Factory for the configured protocol.
+func (c Config) factory() (consensus.Factory, error) {
+	switch c.Protocol {
+	case TraditionalPaxos:
+		return paxos.New(paxos.Config{Delta: c.Delta}), nil
+	case ModifiedPaxos:
+		return modpaxos.New(modpaxos.Config{
+			Delta: c.Delta, Sigma: c.Sigma, Eps: c.Eps, Rho: c.Rho, Prepared: c.Prepared,
+		})
+	case RoundBased:
+		return roundbased.New(roundbased.Config{Delta: c.Delta, Rho: c.Rho})
+	case ModifiedBConsensus:
+		return bconsensus.New(bconsensus.Config{Delta: c.Delta, Eps: c.Eps, Rho: c.Rho})
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %q", c.Protocol)
+	}
+}
+
+// DefaultProposals returns the proposals used by harness runs: distinct
+// per-process values so agreement is observable.
+func DefaultProposals(n int) []consensus.Value {
+	out := make([]consensus.Value, n)
+	for i := range out {
+		out[i] = consensus.Value(fmt.Sprintf("v%d", i))
+	}
+	return out
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (Result, error) {
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 2 * time.Minute
+	}
+	if cfg.Policy == nil {
+		if cfg.TS > 0 {
+			cfg.Policy = simnet.DropAll{}
+		} else {
+			cfg.Policy = simnet.Synchronous{}
+		}
+	}
+	factory, err := cfg.factory()
+	if err != nil {
+		return Result{}, err
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	collector := trace.NewCollector()
+	if cfg.Debug {
+		collector.EnableLogging(10000)
+	}
+	var minDelay time.Duration
+	if cfg.WorstCaseDelays {
+		minDelay = cfg.Delta
+	}
+	nw, err := simnet.New(eng, simnet.Config{
+		N: cfg.N, Delta: cfg.Delta, TS: cfg.TS, MinDelay: minDelay,
+		Policy: cfg.Policy, Rho: cfg.Rho, Collector: collector, Debug: cfg.Debug,
+	}, factory, DefaultProposals(cfg.N))
+	if err != nil {
+		return Result{}, err
+	}
+
+	down, err := installAdversary(nw, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	if cfg.Protocol == TraditionalPaxos {
+		leader.Install(nw, leader.Config{Stable: stableLeader(cfg, down)})
+	}
+
+	nw.StartExcept(down...)
+	for _, r := range cfg.Restarts {
+		nw.CrashAt(r.Proc, r.CrashAt)
+		if r.RestartAt > 0 {
+			nw.RestartAt(r.Proc, r.RestartAt)
+		}
+	}
+
+	decided, violation := nw.RunUntilAllDecided(cfg.Horizon)
+
+	// A restart scheduled after the surviving processes decided still has
+	// to be simulated: keep running until every restarted process has
+	// decided too (decision gossip brings it up to date).
+	if violation == nil {
+		for _, r := range cfg.Restarts {
+			if r.RestartAt == 0 {
+				continue
+			}
+			proc := r.Proc
+			ok := nw.Engine().RunUntil(func() bool {
+				_, d := nw.Node(proc).Decided()
+				return d
+			}, cfg.Horizon)
+			decided = decided && ok
+		}
+		violation = nw.Checker().Violation()
+	}
+
+	res := Result{
+		Decided:         decided && violation == nil,
+		Messages:        collector.TotalSent(),
+		MessagesByType:  collector.SentByType(),
+		RestartRecovery: make(map[consensus.ProcessID]time.Duration),
+		Collector:       collector,
+		Violation:       violation,
+	}
+	if d, ok := nw.Checker().FirstDecision(); ok {
+		res.FirstDecision = d.At
+		res.Value = d.Value
+	}
+	if last, ok := nw.Checker().LastDecisionAmong(nw.UpIDs()); ok {
+		res.LastDecision = last
+		res.LatencyAfterTS = last - cfg.TS
+		if res.LatencyAfterTS < 0 {
+			res.LatencyAfterTS = last
+		}
+	}
+	for _, r := range cfg.Restarts {
+		if r.RestartAt == 0 {
+			continue
+		}
+		if at, ok := nw.Node(r.Proc).DecidedAtGlobal(); ok && at >= r.RestartAt {
+			res.RestartRecovery[r.Proc] = at - r.RestartAt
+		}
+	}
+	return res, nil
+}
+
+// stableLeader picks the lowest-id process not scheduled to be down.
+func stableLeader(cfg Config, down []consensus.ProcessID) consensus.ProcessID {
+	isDown := make(map[consensus.ProcessID]bool, len(down))
+	for _, d := range down {
+		isDown[d] = true
+	}
+	for _, r := range cfg.Restarts {
+		if r.RestartAt == 0 {
+			isDown[r.Proc] = true
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		if !isDown[consensus.ProcessID(i)] {
+			return consensus.ProcessID(i)
+		}
+	}
+	return 0
+}
+
+// installAdversary wires the configured attack and returns the processes
+// that must stay down from the start.
+func installAdversary(nw *simnet.Network, cfg Config) ([]consensus.ProcessID, error) {
+	switch cfg.Attack {
+	case "", NoAttack:
+		return nil, nil
+
+	case ObsoleteBallots:
+		if cfg.AttackK == 0 {
+			return nil, nil
+		}
+		// The failed process carrying the obsolete ballots is the
+		// highest-id process; the victims are every other non-leader.
+		from := consensus.ProcessID(cfg.N - 1)
+		var victims []consensus.ProcessID
+		for i := 1; i < cfg.N-1; i++ {
+			victims = append(victims, consensus.ProcessID(i))
+		}
+		switch cfg.Protocol {
+		case TraditionalPaxos:
+			adversary.ReactiveObsoleteAttack{K: cfg.AttackK, From: from, Victims: victims}.Install(nw)
+		case ModifiedPaxos:
+			// The strongest legal injection: session s0+1 = 2 under the
+			// DropAll pre-TS policy (all live processes idle in session
+			// 1 at TS).
+			adversary.Apply(nw, adversary.SessionCappedAttack{
+				K: cfg.AttackK, From: from, Victims: victims, Cap: 2,
+			}.Build(cfg.N, cfg.Delta, cfg.TS))
+		default:
+			return nil, fmt.Errorf("harness: obsolete-ballot attack not defined for %q", cfg.Protocol)
+		}
+		return []consensus.ProcessID{from}, nil
+
+	case DeadCoordinators:
+		return adversary.CoordinatorKiller(cfg.N, cfg.AttackK), nil
+
+	default:
+		return nil, fmt.Errorf("harness: unknown attack %q", cfg.Attack)
+	}
+}

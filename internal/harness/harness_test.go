@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+)
+
+const delta = 10 * time.Millisecond
+
+func TestRunAllProtocolsSynchronous(t *testing.T) {
+	for _, proto := range Protocols() {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			res, err := Run(Config{Protocol: proto, N: 5, Delta: delta, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("safety violation: %v", res.Violation)
+			}
+			if !res.Decided {
+				t.Fatal("did not decide")
+			}
+			if res.Value == "" {
+				t.Fatal("no decided value reported")
+			}
+			if res.Messages == 0 || len(res.MessagesByType) == 0 {
+				t.Fatal("no message accounting")
+			}
+			if res.FirstDecision > res.LastDecision {
+				t.Fatalf("FirstDecision %v > LastDecision %v", res.FirstDecision, res.LastDecision)
+			}
+		})
+	}
+}
+
+func TestRunAllProtocolsAfterStabilization(t *testing.T) {
+	ts := 200 * time.Millisecond
+	for _, proto := range Protocols() {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			res, err := Run(Config{Protocol: proto, N: 5, Delta: delta, TS: ts, Rho: 0.01, Seed: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Decided {
+				t.Fatal("did not decide after TS")
+			}
+			if res.LastDecision < ts {
+				t.Fatalf("decided at %v before TS %v under DropAll", res.LastDecision, ts)
+			}
+			if res.LatencyAfterTS != res.LastDecision-ts {
+				t.Fatalf("LatencyAfterTS = %v, want %v", res.LatencyAfterTS, res.LastDecision-ts)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Protocol: "nope", N: 3, Delta: delta}); err == nil {
+		t.Error("unknown protocol should error")
+	}
+	if _, err := Run(Config{Protocol: ModifiedPaxos, N: 0, Delta: delta}); err == nil {
+		t.Error("bad N should error")
+	}
+	if _, err := Run(Config{Protocol: RoundBased, N: 3, Delta: delta, Attack: "bogus"}); err == nil {
+		t.Error("unknown attack should error")
+	}
+	if _, err := Run(Config{Protocol: RoundBased, N: 5, Delta: delta, Attack: ObsoleteBallots, AttackK: 2}); err == nil {
+		t.Error("obsolete-ballot attack on round-based should error")
+	}
+}
+
+func TestObsoleteBallotAttackThroughHarness(t *testing.T) {
+	ts := 100 * time.Millisecond
+	runK := func(proto Protocol, k int) time.Duration {
+		res, err := Run(Config{
+			Protocol: proto, N: 7, Delta: delta, TS: ts, Seed: 3,
+			Attack: ObsoleteBallots, AttackK: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Decided {
+			t.Fatalf("%s k=%d did not decide", proto, k)
+		}
+		return res.LatencyAfterTS
+	}
+	tradFlat := runK(TraditionalPaxos, 0)
+	tradHit := runK(TraditionalPaxos, 6)
+	modFlat := runK(ModifiedPaxos, 0)
+	modHit := runK(ModifiedPaxos, 6)
+	if tradHit <= tradFlat+5*delta {
+		t.Errorf("attack did not slow traditional paxos: %v vs %v", tradHit, tradFlat)
+	}
+	if modHit > modFlat+5*delta {
+		t.Errorf("attack slowed modified paxos: %v vs %v", modHit, modFlat)
+	}
+	t.Logf("trad: %v→%v; mod: %v→%v", tradFlat, tradHit, modFlat, modHit)
+}
+
+func TestDeadCoordinatorsThroughHarness(t *testing.T) {
+	ts := 100 * time.Millisecond
+	runK := func(proto Protocol, k int) time.Duration {
+		res, err := Run(Config{
+			Protocol: proto, N: 9, Delta: delta, TS: ts, Seed: 4,
+			Attack: DeadCoordinators, AttackK: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Decided {
+			t.Fatalf("%s k=%d did not decide", proto, k)
+		}
+		return res.LatencyAfterTS
+	}
+	rbFlat := runK(RoundBased, 0)
+	rbHit := runK(RoundBased, 4)
+	if rbHit <= rbFlat+2*5*delta {
+		t.Errorf("dead coordinators did not slow round-based: %v vs %v", rbHit, rbFlat)
+	}
+	// The same crashed processes barely affect modified paxos.
+	modFlat := runK(ModifiedPaxos, 0)
+	modHit := runK(ModifiedPaxos, 4)
+	if modHit > 2*modFlat+5*delta {
+		t.Errorf("crashes slowed modified paxos disproportionately: %v vs %v", modHit, modFlat)
+	}
+	t.Logf("roundbased: %v→%v; modpaxos: %v→%v", rbFlat, rbHit, modFlat, modHit)
+}
+
+func TestRestartRecoveryMetric(t *testing.T) {
+	ts := 200 * time.Millisecond
+	restartAt := ts + 400*time.Millisecond
+	res, err := Run(Config{
+		Protocol: ModifiedPaxos, N: 5, Delta: delta, TS: ts, Seed: 5,
+		Restarts: []Restart{{Proc: 4, CrashAt: 50 * time.Millisecond, RestartAt: restartAt}},
+		Horizon:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := res.RestartRecovery[4]
+	if !ok {
+		t.Fatal("no restart recovery recorded for process 4")
+	}
+	if rec > 4*delta {
+		t.Errorf("restart recovery %v, want ≤ 4δ", rec)
+	}
+}
+
+func TestPreparedFastPath(t *testing.T) {
+	res, err := Run(Config{Protocol: ModifiedPaxos, N: 5, Delta: delta, Seed: 6, Prepared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || res.LastDecision > 3*delta {
+		t.Errorf("prepared fast path: decided=%v at %v, want ≤ 3δ", res.Decided, res.LastDecision)
+	}
+}
+
+func TestDefaultProposalsDistinct(t *testing.T) {
+	props := DefaultProposals(5)
+	seen := map[consensus.Value]bool{}
+	for _, p := range props {
+		if seen[p] {
+			t.Fatalf("duplicate proposal %q", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		res, err := Run(Config{Protocol: ModifiedPaxos, N: 5, Delta: delta, TS: 150 * time.Millisecond, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.LastDecision != b.LastDecision || a.Messages != b.Messages || a.Value != b.Value {
+		t.Fatalf("nondeterministic harness runs: %+v vs %+v",
+			fmt.Sprintf("%v/%d/%s", a.LastDecision, a.Messages, a.Value),
+			fmt.Sprintf("%v/%d/%s", b.LastDecision, b.Messages, b.Value))
+	}
+}

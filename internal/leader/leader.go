@@ -1,0 +1,84 @@
+// Package leader provides the Ω-style leader-election oracle assumed by the
+// traditional Paxos baseline (§2 of the paper). The paper's comparison only
+// requires that such a procedure exists and that it elects a unique
+// nonfaulty leader within O(δ) of stabilization; its internals are
+// irrelevant to the O(Nδ) behaviour being demonstrated, so we implement it
+// as an out-of-band announcer layered on the simulated network.
+//
+// Before stabilization the oracle may report arbitrary (even different)
+// leaders to different processes; from TS + δ on it reports one fixed
+// nonfaulty leader to everybody, repeatedly, so that restarted processes
+// re-learn it within one period.
+package leader
+
+import (
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/simnet"
+)
+
+// Announce tells a process who the oracle currently believes is leader.
+// It is delivered like a message but originates from the oracle, not from
+// another process.
+type Announce struct {
+	Leader consensus.ProcessID
+}
+
+// Type implements consensus.Message.
+func (Announce) Type() string { return "leader" }
+
+// Config configures the oracle installation.
+type Config struct {
+	// Stable is the leader announced from TS+Delta onward. It must be a
+	// process that is nonfaulty after TS.
+	Stable consensus.ProcessID
+	// Period is the re-announcement interval (default δ).
+	Period time.Duration
+	// ChaoticBeforeTS, when true, announces rotating bogus leaders before
+	// stabilization — modeling an oracle that misbehaves while the system
+	// is unstable (permitted: Ω's guarantee is only eventual).
+	ChaoticBeforeTS bool
+	// Horizon stops announcements after this time (0 = no announcements
+	// beyond 1000·Period, a backstop against unbounded schedules).
+	Horizon time.Duration
+}
+
+// Install starts the oracle on the network. Announcements are injected
+// directly (they do not consume network randomness and are not subject to
+// loss, which only makes the traditional-Paxos baseline *faster* — the
+// paper's comparison survives giving the baseline a perfect oracle).
+func Install(nw *simnet.Network, cfg Config) {
+	if cfg.Period == 0 {
+		cfg.Period = nw.Config().Delta
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 1000 * cfg.Period
+	}
+	ts := nw.Config().TS
+	delta := nw.Config().Delta
+	n := nw.Config().N
+
+	var announce func()
+	round := 0
+	announce = func() {
+		now := nw.Engine().Now()
+		if now > cfg.Horizon {
+			return
+		}
+		lead := cfg.Stable
+		if cfg.ChaoticBeforeTS && now < ts+delta {
+			// Rotate through bogus leaders during instability.
+			lead = consensus.ProcessID(round % n)
+			round++
+		}
+		for i := 0; i < n; i++ {
+			id := consensus.ProcessID(i)
+			if nw.Up(id) {
+				nw.Inject(now, lead, id, Announce{Leader: lead})
+			}
+		}
+		nw.Engine().After(cfg.Period, announce)
+	}
+	nw.Engine().After(0, announce)
+}

@@ -1,0 +1,180 @@
+// Package live runs the same consensus protocols natively: one goroutine
+// per process, real clocks, real timers, and pluggable transports (an
+// in-memory channel transport with injectable loss/delay, and a TCP
+// transport over encoding/gob). This is the "simulate rounds with
+// goroutines" substrate: examples and integration tests exercise protocol
+// code identical to what the deterministic simulator verifies.
+//
+// The eventually-synchronous model maps onto real time: the memory
+// transport can drop and delay messages until a configured stabilization
+// instant, after which it delivers within δ.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/trace"
+)
+
+// Transport moves messages between processes. Implementations must be safe
+// for concurrent use; delivery must invoke the handler registered for the
+// destination (on any goroutine — nodes serialize internally).
+type Transport interface {
+	// Register installs the delivery handler for a process. It must be
+	// called for every process before Send is used.
+	Register(id consensus.ProcessID, h func(from consensus.ProcessID, m consensus.Message))
+	// Send transmits m from one process to another.
+	Send(from, to consensus.ProcessID, m consensus.Message)
+	// Close releases transport resources.
+	Close() error
+}
+
+// Config describes a live cluster.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Delta is δ, handed to protocol configurations; with the memory
+	// transport it also bounds post-stabilization delivery delay.
+	Delta time.Duration
+	// Transport defaults to a loss-free memory transport.
+	Transport Transport
+	// Collector defaults to a fresh collector.
+	Collector *trace.Collector
+	// StateDir, when set, backs each node's stable storage with gob files
+	// under StateDir/p<ID> instead of memory, so state survives even OS
+	// process restarts. Empty means in-memory stable storage (which still
+	// survives Crash/Restart within this Cluster).
+	StateDir string
+}
+
+// Cluster is a set of live processes.
+type Cluster struct {
+	cfg       Config
+	factory   consensus.Factory
+	proposals []consensus.Value
+	transport Transport
+	collector *trace.Collector
+	checker   *consensus.SafetyChecker
+	nodes     []*Node
+
+	mu      sync.Mutex
+	started bool
+}
+
+// NewCluster builds a cluster; processes are created but not started.
+func NewCluster(cfg Config, factory consensus.Factory, proposals []consensus.Value) (*Cluster, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("live: N must be ≥ 1, got %d", cfg.N)
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("live: Delta must be positive, got %v", cfg.Delta)
+	}
+	if len(proposals) != cfg.N {
+		return nil, fmt.Errorf("live: %d proposals for %d processes", len(proposals), cfg.N)
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewMemTransport(MemTransportConfig{MaxDelay: cfg.Delta})
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = trace.NewCollector()
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		factory:   factory,
+		proposals: proposals,
+		transport: cfg.Transport,
+		collector: cfg.Collector,
+		checker:   consensus.NewSafetyChecker(),
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := consensus.ProcessID(i)
+		c.checker.RecordProposal(id, proposals[i])
+		node, err := newLiveNode(c, id)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+		c.transport.Register(id, node.enqueueMessage)
+	}
+	return c, nil
+}
+
+// Start boots every process.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.started = true
+	for _, n := range c.nodes {
+		n.start()
+	}
+}
+
+// Stop gracefully shuts down all processes and the transport, waiting for
+// every goroutine to exit.
+func (c *Cluster) Stop() error {
+	for _, n := range c.nodes {
+		n.stop()
+	}
+	return c.transport.Close()
+}
+
+// Checker returns the shared safety checker.
+func (c *Cluster) Checker() *consensus.SafetyChecker { return c.checker }
+
+// Collector returns the shared trace collector.
+func (c *Cluster) Collector() *trace.Collector { return c.collector }
+
+// Node returns the node hosting a process.
+func (c *Cluster) Node(id consensus.ProcessID) *Node { return c.nodes[id] }
+
+// Crash stops one process abruptly (volatile state and timers lost; stable
+// storage kept).
+func (c *Cluster) Crash(id consensus.ProcessID) { c.nodes[id].stop() }
+
+// Restart boots a crashed process again from its stable storage.
+func (c *Cluster) Restart(id consensus.ProcessID) { c.nodes[id].start() }
+
+// AllIDs returns every process ID.
+func (c *Cluster) AllIDs() []consensus.ProcessID {
+	ids := make([]consensus.ProcessID, c.cfg.N)
+	for i := range ids {
+		ids[i] = consensus.ProcessID(i)
+	}
+	return ids
+}
+
+// WaitAllDecided blocks until every process has decided or the timeout
+// elapses. It returns an error on timeout or safety violation.
+func (c *Cluster) WaitAllDecided(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := c.checker.Violation(); err != nil {
+			return fmt.Errorf("live: safety violation: %w", err)
+		}
+		if c.checker.AllDecided(c.AllIDs()) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("live: %d/%d processes decided within %v",
+				c.checker.DecidedCount(), c.cfg.N, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// WaitDecided blocks until one specific process decides.
+func (c *Cluster) WaitDecided(id consensus.ProcessID, timeout time.Duration) (consensus.Value, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if d, ok := c.checker.DecisionOf(id); ok {
+			return d.Value, nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("live: process %d undecided after %v", id, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,254 @@
+package live
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core/bconsensus"
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+	"repro/internal/core/roundbased"
+)
+
+const delta = 20 * time.Millisecond
+
+func distinctProposals(n int) []consensus.Value {
+	out := make([]consensus.Value, n)
+	for i := range out {
+		out[i] = consensus.Value(fmt.Sprintf("v%d", i))
+	}
+	return out
+}
+
+func TestModifiedPaxosLiveMemoryTransport(t *testing.T) {
+	c, err := NewCluster(Config{N: 5, Delta: delta},
+		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.Stop(); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+	}()
+	c.Start()
+	if err := c.WaitAllDecided(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checker().Violation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModifiedPaxosLiveWithUnstablePeriod(t *testing.T) {
+	// Real-time eventual synchrony: 300ms of 60% loss and long delays,
+	// then a stable network. The cluster must decide shortly after
+	// stabilization.
+	transport := NewMemTransport(MemTransportConfig{
+		MaxDelay:       delta,
+		StabilizeAfter: 300 * time.Millisecond,
+		LossProb:       0.6,
+	})
+	c, err := NewCluster(Config{N: 5, Delta: delta, Transport: transport},
+		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Stop() }()
+	start := time.Now()
+	c.Start()
+	if err := c.WaitAllDecided(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Generous real-time envelope: stabilization + bound (~18δ) + sched
+	// noise. This is a smoke bound, not a timing assertion.
+	if elapsed > 300*time.Millisecond+40*delta {
+		t.Logf("note: live decision took %v (scheduling noise)", elapsed)
+	}
+}
+
+func TestRoundBasedLive(t *testing.T) {
+	c, err := NewCluster(Config{N: 3, Delta: delta},
+		roundbased.MustNew(roundbased.Config{Delta: delta}), distinctProposals(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Stop() }()
+	c.Start()
+	if err := c.WaitAllDecided(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBConsensusLive(t *testing.T) {
+	c, err := NewCluster(Config{N: 3, Delta: delta},
+		bconsensus.MustNew(bconsensus.Config{Delta: delta}), distinctProposals(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Stop() }()
+	c.Start()
+	if err := c.WaitAllDecided(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveCrashRestartRecovers(t *testing.T) {
+	c, err := NewCluster(Config{N: 5, Delta: delta},
+		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Stop() }()
+	c.Start()
+	c.Crash(4)
+	if err := c.WaitAllDecided(10 * time.Second); err == nil {
+		t.Fatal("WaitAllDecided should fail with process 4 down")
+	} else if err := c.Checker().Violation(); err != nil {
+		t.Fatal(err)
+	}
+	// Majority decides without process 4.
+	ids := []consensus.ProcessID{0, 1, 2, 3}
+	deadline := time.Now().Add(10 * time.Second)
+	for !c.Checker().AllDecided(ids) {
+		if time.Now().After(deadline) {
+			t.Fatalf("majority undecided (%d/5)", c.Checker().DecidedCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Process 4 restarts and catches up via decision gossip.
+	c.Restart(4)
+	v, err := c.WaitDecided(4, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := c.Checker().DecisionOf(0); d.Value != v {
+		t.Fatalf("restarted decision %q differs from cluster's %q", v, d.Value)
+	}
+}
+
+func TestLiveTCPTransport(t *testing.T) {
+	RegisterMessages()
+	ids := []consensus.ProcessID{0, 1, 2}
+	transport, err := NewTCPTransport(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(Config{N: 3, Delta: delta, Transport: transport},
+		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := c.Stop(); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+	}()
+	for _, id := range ids {
+		if transport.Addr(id) == "" {
+			t.Fatalf("no listen address for %d", id)
+		}
+	}
+	c.Start()
+	if err := c.WaitAllDecided(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checker().Violation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	factory := modpaxos.MustNew(modpaxos.Config{Delta: delta})
+	if _, err := NewCluster(Config{N: 0, Delta: delta}, factory, nil); err == nil {
+		t.Error("N=0 should be rejected")
+	}
+	if _, err := NewCluster(Config{N: 3, Delta: 0}, factory, distinctProposals(3)); err == nil {
+		t.Error("Delta=0 should be rejected")
+	}
+	if _, err := NewCluster(Config{N: 3, Delta: delta}, factory, distinctProposals(2)); err == nil {
+		t.Error("proposal mismatch should be rejected")
+	}
+}
+
+func TestMemTransportCloseStopsDeliveries(t *testing.T) {
+	tr := NewMemTransport(MemTransportConfig{MaxDelay: 50 * time.Millisecond})
+	got := make(chan consensus.Message, 16)
+	tr.Register(1, func(_ consensus.ProcessID, m consensus.Message) { got <- m })
+	for i := 0; i < 8; i++ {
+		tr.Send(0, 1, modpaxos.Decided{Val: "x"})
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close returns, no further deliveries may happen.
+	n := len(got)
+	time.Sleep(80 * time.Millisecond)
+	if len(got) != n {
+		t.Fatalf("deliveries after Close: %d → %d", n, len(got))
+	}
+	// Close is idempotent.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopIsIdempotentAndWaitsForGoroutines(t *testing.T) {
+	c, err := NewCluster(Config{N: 3, Delta: delta},
+		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateDirSurvivesClusterTeardown(t *testing.T) {
+	dir := t.TempDir()
+	proposalsSet := distinctProposals(3)
+
+	// First incarnation decides and is torn down completely.
+	c1, err := NewCluster(Config{N: 3, Delta: delta, StateDir: dir},
+		modpaxos.MustNew(modpaxos.Config{Delta: delta}), proposalsSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Start()
+	if err := c1.WaitAllDecided(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var want consensus.Value
+	if d, ok := c1.Checker().DecisionOf(0); ok {
+		want = d.Value
+	}
+	if err := c1.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation over the same directory: every process recovers
+	// its decision from disk at Init, without any network exchange needed
+	// (the decided state is durable).
+	c2, err := NewCluster(Config{N: 3, Delta: delta, StateDir: dir},
+		modpaxos.MustNew(modpaxos.Config{Delta: delta}), proposalsSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Stop() }()
+	c2.Start()
+	if err := c2.WaitAllDecided(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := c2.Checker().DecisionOf(0); d.Value != want {
+		t.Fatalf("recovered decision %q, want %q", d.Value, want)
+	}
+	if err := c2.Checker().Violation(); err != nil {
+		t.Fatal(err)
+	}
+}

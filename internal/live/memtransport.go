@@ -1,0 +1,145 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core/consensus"
+)
+
+// MemTransportConfig tunes the in-memory transport's fault model, mapping
+// the paper's eventual synchrony onto wall-clock time.
+type MemTransportConfig struct {
+	// MaxDelay bounds per-message delivery delay after stabilization
+	// (the live δ). Zero means immediate delivery.
+	MaxDelay time.Duration
+	// StabilizeAfter is the wall-clock duration of the unstable period
+	// from transport creation: until then, messages are dropped with
+	// LossProb and delayed up to UnstableMaxDelay.
+	StabilizeAfter time.Duration
+	// LossProb is the pre-stabilization loss probability.
+	LossProb float64
+	// UnstableMaxDelay bounds pre-stabilization delays (default
+	// 2·StabilizeAfter, so late messages can arrive after stabilization
+	// — live obsolete messages).
+	UnstableMaxDelay time.Duration
+	// Seed seeds the transport's fault randomness (0 = time-based).
+	Seed int64
+}
+
+// MemTransport delivers messages between in-process nodes via their
+// registered handlers, applying the configured loss/delay model. It is safe
+// for concurrent use.
+type MemTransport struct {
+	cfg   MemTransportConfig
+	start time.Time
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	handlers map[consensus.ProcessID]func(consensus.ProcessID, consensus.Message)
+	closed   bool
+	timers   map[*time.Timer]struct{}
+	wg       sync.WaitGroup
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// NewMemTransport returns a transport with the given fault model.
+func NewMemTransport(cfg MemTransportConfig) *MemTransport {
+	if cfg.UnstableMaxDelay == 0 {
+		cfg.UnstableMaxDelay = 2 * cfg.StabilizeAfter
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &MemTransport{
+		cfg:      cfg,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(seed)),
+		handlers: make(map[consensus.ProcessID]func(consensus.ProcessID, consensus.Message)),
+		timers:   make(map[*time.Timer]struct{}),
+	}
+}
+
+// Register implements Transport.
+func (t *MemTransport) Register(id consensus.ProcessID, h func(consensus.ProcessID, consensus.Message)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+}
+
+// Send implements Transport.
+func (t *MemTransport) Send(from, to consensus.ProcessID, m consensus.Message) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	h := t.handlers[to]
+	var delay time.Duration
+	stable := time.Since(t.start) >= t.cfg.StabilizeAfter
+	if stable {
+		if t.cfg.MaxDelay > 0 {
+			delay = time.Duration(t.rng.Int63n(int64(t.cfg.MaxDelay) + 1))
+		}
+	} else {
+		if t.rng.Float64() < t.cfg.LossProb {
+			t.mu.Unlock()
+			return
+		}
+		if t.cfg.UnstableMaxDelay > 0 {
+			delay = time.Duration(t.rng.Int63n(int64(t.cfg.UnstableMaxDelay) + 1))
+		}
+	}
+	t.mu.Unlock()
+
+	if h == nil {
+		return
+	}
+	if delay == 0 {
+		h(from, m)
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.wg.Add(1)
+	var timer *time.Timer
+	timer = time.AfterFunc(delay, func() {
+		defer t.wg.Done()
+		t.mu.Lock()
+		delete(t.timers, timer)
+		closed := t.closed
+		t.mu.Unlock()
+		if !closed {
+			h(from, m)
+		}
+	})
+	t.timers[timer] = struct{}{}
+	t.mu.Unlock()
+}
+
+// Close implements Transport: it stops pending deliveries and waits for
+// in-flight callbacks to finish.
+func (t *MemTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for timer := range t.timers {
+		if timer.Stop() {
+			// Callback will never run; release its waitgroup slot.
+			t.wg.Done()
+		}
+		delete(t.timers, timer)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,269 @@
+package live
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/storage"
+)
+
+// event is one item on a node's serial event loop.
+type event struct {
+	// kind is eventMessage or eventTimer.
+	kind  int
+	from  consensus.ProcessID
+	msg   consensus.Message
+	timer consensus.TimerID
+	// epoch stamps timer events so timers armed before a crash cannot
+	// fire into a restarted incarnation.
+	epoch uint64
+}
+
+const (
+	eventMessage = 1
+	eventTimer   = 2
+)
+
+// Node hosts one live process: a goroutine owning the consensus.Process,
+// fed by an inbox channel. All protocol code runs on that single goroutine,
+// so the Process needs no locking — the same execution model as the
+// simulator.
+type Node struct {
+	cluster *Cluster
+	id      consensus.ProcessID
+
+	// inbox is deliberately deeply buffered (contrary to the usual
+	// size-one default): N processes broadcasting simultaneously would
+	// deadlock on unbuffered channels when two nodes send to each other
+	// from their own event loops. Overflow falls back to dropping the
+	// message, which the omission fault model explicitly permits.
+	inbox chan event
+
+	store    storage.Store
+	rng      *rand.Rand
+	bootedAt time.Time
+
+	mu      sync.Mutex
+	running bool
+	epoch   uint64
+	proc    consensus.Process
+	timers  map[consensus.TimerID]*time.Timer
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	decided   bool
+	decidedAt time.Duration
+}
+
+func newLiveNode(c *Cluster, id consensus.ProcessID) (*Node, error) {
+	var store storage.Store = storage.NewMemStore()
+	if c.cfg.StateDir != "" {
+		fs, err := storage.NewFileStore(filepath.Join(c.cfg.StateDir, fmt.Sprintf("p%d", id)))
+		if err != nil {
+			return nil, fmt.Errorf("live: node %d storage: %w", id, err)
+		}
+		store = fs
+	}
+	return &Node{
+		cluster:  c,
+		id:       id,
+		inbox:    make(chan event, 4096),
+		store:    store,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(id))),
+		bootedAt: time.Now(),
+		timers:   make(map[consensus.TimerID]*time.Timer),
+	}, nil
+}
+
+// start boots (or reboots) the process and its event loop.
+func (n *Node) start() {
+	n.mu.Lock()
+	if n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = true
+	n.epoch++
+	n.done = make(chan struct{})
+	n.proc = n.cluster.factory(n.id, n.cluster.cfg.N, n.cluster.proposals[n.id])
+	done := n.done
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.run(done)
+}
+
+// stop halts the event loop and cancels all timers, keeping stable storage.
+// It blocks until the loop goroutine has exited.
+func (n *Node) stop() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	close(n.done)
+	for id, t := range n.timers {
+		t.Stop()
+		delete(n.timers, id)
+	}
+	n.proc = nil
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// run is the node's event loop.
+func (n *Node) run(done chan struct{}) {
+	defer n.wg.Done()
+	// Init runs on the loop goroutine, like every other handler.
+	n.withProc(func(p consensus.Process) { p.Init(n) })
+	for {
+		select {
+		case <-done:
+			return
+		case ev := <-n.inbox:
+			switch ev.kind {
+			case eventMessage:
+				n.withProc(func(p consensus.Process) { p.HandleMessage(ev.from, ev.msg) })
+			case eventTimer:
+				n.mu.Lock()
+				current := ev.epoch == n.epoch
+				n.mu.Unlock()
+				if current {
+					n.withProc(func(p consensus.Process) { p.HandleTimer(ev.timer) })
+				}
+			}
+		}
+	}
+}
+
+// withProc runs fn against the current process if the node is running.
+func (n *Node) withProc(fn func(consensus.Process)) {
+	n.mu.Lock()
+	p := n.proc
+	running := n.running
+	n.mu.Unlock()
+	if running && p != nil {
+		fn(p)
+	}
+}
+
+// enqueueMessage is the transport delivery callback; it may run on any
+// goroutine.
+func (n *Node) enqueueMessage(from consensus.ProcessID, m consensus.Message) {
+	n.mu.Lock()
+	running := n.running
+	done := n.done
+	n.mu.Unlock()
+	if !running {
+		n.cluster.collector.MessageDropped(m.Type())
+		return
+	}
+	select {
+	case n.inbox <- event{kind: eventMessage, from: from, msg: m}:
+		n.cluster.collector.MessageDelivered(m.Type())
+	case <-done:
+		n.cluster.collector.MessageDropped(m.Type())
+	default:
+		// Inbox overflow: omission model permits dropping.
+		n.cluster.collector.MessageDropped(m.Type())
+	}
+}
+
+// --- consensus.Environment implementation (called only from the loop) ---
+
+var _ consensus.Environment = (*Node)(nil)
+
+// ID implements consensus.Environment.
+func (n *Node) ID() consensus.ProcessID { return n.id }
+
+// N implements consensus.Environment.
+func (n *Node) N() int { return n.cluster.cfg.N }
+
+// Now implements consensus.Environment using the process-local monotonic
+// clock (real local clocks; ρ≈0 between goroutines of one machine).
+func (n *Node) Now() time.Duration { return time.Since(n.bootedAt) }
+
+// Send implements consensus.Environment.
+func (n *Node) Send(to consensus.ProcessID, m consensus.Message) {
+	n.cluster.collector.MessageSent(m.Type())
+	n.cluster.transport.Send(n.id, to, m)
+}
+
+// Broadcast implements consensus.Environment.
+func (n *Node) Broadcast(m consensus.Message) {
+	for i := 0; i < n.cluster.cfg.N; i++ {
+		n.Send(consensus.ProcessID(i), m)
+	}
+}
+
+// SetTimer implements consensus.Environment.
+func (n *Node) SetTimer(id consensus.TimerID, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.running {
+		return
+	}
+	if prev, ok := n.timers[id]; ok {
+		prev.Stop()
+	}
+	epoch := n.epoch
+	done := n.done
+	n.timers[id] = time.AfterFunc(d, func() {
+		select {
+		case n.inbox <- event{kind: eventTimer, timer: id, epoch: epoch}:
+		case <-done:
+		}
+	})
+}
+
+// CancelTimer implements consensus.Environment.
+func (n *Node) CancelTimer(id consensus.TimerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t, ok := n.timers[id]; ok {
+		t.Stop()
+		delete(n.timers, id)
+	}
+}
+
+// Store implements consensus.Environment.
+func (n *Node) Store() storage.Store { return n.store }
+
+// Rand implements consensus.Environment.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Decide implements consensus.Environment.
+func (n *Node) Decide(v consensus.Value) {
+	now := n.Now()
+	_ = n.cluster.checker.RecordDecision(consensus.Decision{Proc: n.id, Value: v, At: now})
+	n.mu.Lock()
+	if !n.decided {
+		n.decided = true
+		n.decidedAt = now
+	}
+	n.mu.Unlock()
+}
+
+// Emit implements consensus.Environment.
+func (n *Node) Emit(kind string, value int64) {
+	n.cluster.collector.Emit(n.Now(), int(n.id), kind, value)
+}
+
+// Logf implements consensus.Environment.
+func (n *Node) Logf(format string, args ...any) {
+	log.Printf("live p%d: "+format, append([]any{int(n.id)}, args...)...)
+}
+
+// Decided reports the node's decision state.
+func (n *Node) Decided() (consensus.Value, bool) {
+	if d, ok := n.cluster.checker.DecisionOf(n.id); ok {
+		return d.Value, true
+	}
+	return "", false
+}

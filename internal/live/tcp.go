@@ -1,0 +1,201 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core/bconsensus"
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+	"repro/internal/core/paxos"
+	"repro/internal/core/roundbased"
+)
+
+// envelope is the wire format of the TCP transport. Msg travels as a gob
+// interface value, so every concrete message type must be registered with
+// RegisterMessages (or gob.Register) on both ends.
+type envelope struct {
+	From consensus.ProcessID
+	To   consensus.ProcessID
+	Msg  consensus.Message
+}
+
+// registerOnce guards the idempotent gob registration.
+var registerOnce sync.Once
+
+// RegisterMessages registers every protocol message type in this repository
+// with encoding/gob, enabling the TCP transport for all four protocols.
+// Additional application-defined messages can be registered directly with
+// gob.Register.
+func RegisterMessages() {
+	registerOnce.Do(func() {
+		for _, m := range []consensus.Message{
+			paxos.P1a{}, paxos.P1b{}, paxos.P2a{}, paxos.P2b{}, paxos.Reject{}, paxos.Decided{},
+			modpaxos.P1a{}, modpaxos.P1b{}, modpaxos.P2a{}, modpaxos.P2b{}, modpaxos.Decided{},
+			roundbased.InRound{}, roundbased.Estimate{}, roundbased.Coord{}, roundbased.Ack{}, roundbased.Decided{},
+			bconsensus.Wab{}, bconsensus.First{}, bconsensus.Second{}, bconsensus.Decided{},
+		} {
+			gob.Register(m)
+		}
+	})
+}
+
+// TCPTransport connects processes over loopback (or real) TCP with
+// gob-encoded envelopes. Each process gets a listener; senders keep one
+// persistent connection per destination. Connection failures drop messages
+// (omission faults) and the next send redials.
+type TCPTransport struct {
+	mu        sync.Mutex
+	listeners map[consensus.ProcessID]net.Listener
+	addrs     map[consensus.ProcessID]string
+	handlers  map[consensus.ProcessID]func(consensus.ProcessID, consensus.Message)
+	conns     map[connKey]*senderConn
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type connKey struct {
+	from, to consensus.ProcessID
+}
+
+type senderConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport starts one loopback listener per process id in ids.
+func NewTCPTransport(ids []consensus.ProcessID) (*TCPTransport, error) {
+	RegisterMessages()
+	t := &TCPTransport{
+		listeners: make(map[consensus.ProcessID]net.Listener),
+		addrs:     make(map[consensus.ProcessID]string),
+		handlers:  make(map[consensus.ProcessID]func(consensus.ProcessID, consensus.Message)),
+		conns:     make(map[connKey]*senderConn),
+	}
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("live: listen for process %d: %w", id, err)
+		}
+		t.listeners[id] = ln
+		t.addrs[id] = ln.Addr().String()
+		t.wg.Add(1)
+		go t.acceptLoop(id, ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of a process (useful for logging and for
+// wiring real multi-binary deployments).
+func (t *TCPTransport) Addr(id consensus.ProcessID) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[id]
+}
+
+// Register implements Transport.
+func (t *TCPTransport) Register(id consensus.ProcessID, h func(consensus.ProcessID, consensus.Message)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+}
+
+func (t *TCPTransport) acceptLoop(id consensus.ProcessID, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(id, conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(id consensus.ProcessID, conn net.Conn) {
+	defer t.wg.Done()
+	defer func() { _ = conn.Close() }()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // connection closed or corrupt: omission
+		}
+		t.mu.Lock()
+		h := t.handlers[id]
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(env.From, env.Msg)
+		}
+	}
+}
+
+// Send implements Transport. Failures are silent (omission model): the
+// stale connection is discarded and the next send redials.
+func (t *TCPTransport) Send(from, to consensus.ProcessID, m consensus.Message) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	key := connKey{from, to}
+	sc := t.conns[key]
+	if sc == nil {
+		addr := t.addrs[to]
+		t.mu.Unlock()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		sc = &senderConn{conn: conn, enc: gob.NewEncoder(conn)}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if existing := t.conns[key]; existing != nil {
+			// Lost the race; use the established connection.
+			_ = conn.Close()
+			sc = existing
+		} else {
+			t.conns[key] = sc
+		}
+	}
+	env := envelope{From: from, To: to, Msg: m}
+	err := sc.enc.Encode(env)
+	if err != nil {
+		delete(t.conns, key)
+		_ = sc.conn.Close()
+	}
+	t.mu.Unlock()
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, ln := range t.listeners {
+		_ = ln.Close()
+	}
+	for key, sc := range t.conns {
+		_ = sc.conn.Close()
+		delete(t.conns, key)
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,117 @@
+package rsm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/live"
+)
+
+// RegisterMessages registers the RSM wire types (and the protocol messages
+// they wrap) with encoding/gob for the TCP transport.
+func RegisterMessages() {
+	live.RegisterMessages()
+	registerRSMOnce.Do(func() {
+		for _, m := range []consensus.Message{
+			ClientPropose{}, Redirect{}, Committed{}, Query{}, QueryReply{}, SlotMsg{},
+		} {
+			gob.Register(m)
+		}
+	})
+}
+
+var registerRSMOnce sync.Once
+
+// Client talks to a live replica group through the same transport the
+// replicas use. It registers itself under an ID outside the replica range
+// (clients are not consensus participants).
+type Client struct {
+	id        consensus.ProcessID
+	transport live.Transport
+
+	mu      sync.Mutex
+	inbox   chan consensus.Message
+	timeout time.Duration
+}
+
+// NewClient registers a client with the transport. The id must not collide
+// with any replica ID (use N, N+1, ...).
+func NewClient(id consensus.ProcessID, transport live.Transport) *Client {
+	c := &Client{
+		id:        id,
+		transport: transport,
+		inbox:     make(chan consensus.Message, 64),
+		timeout:   5 * time.Second,
+	}
+	transport.Register(id, func(_ consensus.ProcessID, m consensus.Message) {
+		select {
+		case c.inbox <- m:
+		default: // slow client: drop, the caller will time out and retry
+		}
+	})
+	return c
+}
+
+// SetTimeout adjusts the per-operation timeout (default 5s).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Propose submits a command to the replica group and blocks until it is
+// committed to a slot.
+func (c *Client) Propose(cmd consensus.Value) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	leader := Leader()
+	deadline := time.Now().Add(c.timeout)
+	c.transport.Send(c.id, leader, ClientPropose{Cmd: cmd})
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return 0, fmt.Errorf("rsm: propose %q timed out after %v", cmd, c.timeout)
+		}
+		select {
+		case m := <-c.inbox:
+			switch msg := m.(type) {
+			case Committed:
+				if msg.Cmd == cmd {
+					return msg.Slot, nil
+				}
+				// A commit for an earlier pipelined proposal: ignore.
+			case Redirect:
+				leader = msg.Leader
+				c.transport.Send(c.id, leader, ClientPropose{Cmd: cmd})
+			}
+		case <-time.After(remaining):
+			return 0, fmt.Errorf("rsm: propose %q timed out after %v", cmd, c.timeout)
+		}
+	}
+}
+
+// Get reads the applied value of key from one replica, waiting until the
+// replica has applied at least minApplied slots (0 = read immediately).
+func (c *Client) Get(replica consensus.ProcessID, key string, minApplied int64) (string, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Now().Add(c.timeout)
+	for {
+		if time.Now().After(deadline) {
+			return "", false, fmt.Errorf("rsm: get %q from p%d timed out", key, replica)
+		}
+		c.transport.Send(c.id, replica, Query{Key: key})
+		remaining := time.Until(deadline)
+		select {
+		case m := <-c.inbox:
+			if reply, ok := m.(QueryReply); ok && reply.Key == key {
+				if reply.Applied >= minApplied {
+					return reply.Value, reply.Found, nil
+				}
+			}
+			// Stale or unrelated: re-query after a short pause.
+			time.Sleep(2 * time.Millisecond)
+		case <-time.After(remaining):
+			return "", false, fmt.Errorf("rsm: get %q from p%d timed out", key, replica)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package rsm builds a replicated state machine from a sequence of
+// independent modified-Paxos instances — the setting the paper's
+// "Reducing Message Complexity" discussion (§4) is about: "The message
+// complexity of a consensus algorithm matters only when a system executes a
+// sequence of separate instances of the algorithm."
+//
+// Each log slot is one modpaxos instance, multiplexed over a single
+// consensus.Process per replica (so the replica runs unchanged on the
+// simulator or the live runtime). Slot instances run in the Prepared
+// configuration with replica 0 as the distinguished proposer: phase 1 is
+// pre-executed, so in the stable case a client command commits within three
+// message delays (client → leader, phase 2a, phase 2b), exactly the
+// ordinary-Paxos behaviour the paper says the modified algorithm can match.
+//
+// Commands are uninterpreted strings applied in slot order; a KV layer
+// ("set key value") is provided for the examples. Slots decided out of
+// order wait for the gap to fill before applying.
+package rsm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+)
+
+// NoOp is the command decided for a slot no client command reached; it is
+// skipped at apply time.
+const NoOp consensus.Value = ""
+
+// timer multiplexing: each slot instance gets a block of timer IDs.
+const timersPerSlot = 8
+
+// ClientPropose asks the receiving replica to start a new slot with the
+// given command. Only the distinguished proposer (replica 0) accepts it;
+// other replicas redirect.
+type ClientPropose struct {
+	Cmd consensus.Value
+}
+
+// Type implements consensus.Message.
+func (ClientPropose) Type() string { return "rsm-propose" }
+
+// Redirect tells a client which replica is the proposer.
+type Redirect struct {
+	Leader consensus.ProcessID
+}
+
+// Type implements consensus.Message.
+func (Redirect) Type() string { return "rsm-redirect" }
+
+// Committed acknowledges a proposal: the command was decided in Slot.
+type Committed struct {
+	Slot int64
+	Cmd  consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Committed) Type() string { return "rsm-committed" }
+
+// Query asks a replica for the applied value of a key.
+type Query struct {
+	Key string
+}
+
+// Type implements consensus.Message.
+func (Query) Type() string { return "rsm-query" }
+
+// QueryReply answers a Query. Found is false if the key has no applied
+// value yet.
+type QueryReply struct {
+	Key   string
+	Value string
+	Found bool
+	// Applied is the number of log slots applied at reply time.
+	Applied int64
+}
+
+// Type implements consensus.Message.
+func (QueryReply) Type() string { return "rsm-reply" }
+
+// SlotMsg carries one slot instance's protocol message.
+type SlotMsg struct {
+	Slot  int64
+	Inner consensus.Message
+}
+
+// Type implements consensus.Message.
+func (m SlotMsg) Type() string {
+	if m.Inner == nil {
+		return "rsm-slot"
+	}
+	return "rsm-" + m.Inner.Type()
+}
+
+// Config configures a replica group.
+type Config struct {
+	// Paxos configures every slot instance; Prepared is forced on.
+	Paxos modpaxos.Config
+	// MaxSlots bounds the log (a runaway-proposer backstop; default 1<<20).
+	MaxSlots int64
+}
+
+// Applier consumes committed commands in slot order. Implementations must
+// be fast: they run on the replica's event loop.
+type Applier interface {
+	Apply(slot int64, cmd consensus.Value)
+}
+
+// Replica is one member of the replicated state machine. It implements
+// consensus.Process; its inner slot instances are ordinary modpaxos
+// processes running against slot-scoped environments.
+type Replica struct {
+	id      consensus.ProcessID
+	n       int
+	cfg     Config
+	factory consensus.Factory
+	env     consensus.Environment
+	applier Applier
+
+	slots     map[int64]*slotState
+	nextSlot  int64 // proposer: next slot to assign
+	applied   int64 // number of contiguous slots applied
+	decisions map[int64]consensus.Value
+	waiters   map[int64][]consensus.ProcessID // proposer: who to ack per slot
+	// pending maps a slot to the command the proposer submitted for it.
+	// If the slot decides something else (a recovery ballot can win with
+	// the NoOp proposal when the command's phase-2 traffic was lost
+	// before stabilization), the command is re-proposed in a fresh slot —
+	// clients see exactly-once commit of their command, possibly in a
+	// later slot. pending is volatile: a proposer crash loses unacked
+	// commands, which the client's timeout-and-retry covers.
+	pending map[int64]consensus.Value
+
+	// kv is the built-in state machine used when no Applier is given.
+	kv *KVStore
+
+	mu sync.Mutex // guards kv reads from outside the event loop (tests)
+}
+
+type slotState struct {
+	proc consensus.Process
+	env  *slotEnv
+}
+
+var _ consensus.Process = (*Replica)(nil)
+
+// New returns a Factory producing RSM replicas with the built-in KV store.
+func New(cfg Config) (consensus.Factory, error) {
+	if cfg.MaxSlots == 0 {
+		cfg.MaxSlots = 1 << 20
+	}
+	cfg.Paxos.Prepared = true
+	inner, err := modpaxos.New(cfg.Paxos)
+	if err != nil {
+		return nil, fmt.Errorf("rsm: %w", err)
+	}
+	return func(id consensus.ProcessID, n int, _ consensus.Value) consensus.Process {
+		return &Replica{
+			id: id, n: n, cfg: cfg, factory: inner,
+			slots:     make(map[int64]*slotState),
+			decisions: make(map[int64]consensus.Value),
+			waiters:   make(map[int64][]consensus.ProcessID),
+			pending:   make(map[int64]consensus.Value),
+			kv:        NewKVStore(),
+		}
+	}, nil
+}
+
+// Leader returns the distinguished proposer.
+func Leader() consensus.ProcessID { return 0 }
+
+// Init implements consensus.Process.
+func (r *Replica) Init(env consensus.Environment) {
+	r.env = env
+	if r.applier == nil {
+		r.applier = r.kv
+	}
+	// Recover the decided log from stable storage and re-apply.
+	var decided map[int64]consensus.Value
+	if ok, err := env.Store().Get("rsm-decided", &decided); err != nil {
+		env.Logf("rsm: restore: %v", err)
+	} else if ok {
+		r.decisions = decided
+		r.applyReady()
+	}
+	var next int64
+	if ok, _ := env.Store().Get("rsm-next", &next); ok {
+		r.nextSlot = next
+	}
+}
+
+// HandleMessage implements consensus.Process.
+func (r *Replica) HandleMessage(from consensus.ProcessID, m consensus.Message) {
+	switch msg := m.(type) {
+	case ClientPropose:
+		r.onPropose(from, msg)
+	case Query:
+		r.onQuery(from, msg)
+	case SlotMsg:
+		r.onSlotMsg(from, msg)
+	}
+}
+
+// HandleTimer implements consensus.Process: timer IDs are blocks of
+// timersPerSlot per slot.
+func (r *Replica) HandleTimer(id consensus.TimerID) {
+	slot := int64(id) / timersPerSlot
+	inner := consensus.TimerID(int64(id) % timersPerSlot)
+	if st, ok := r.slots[slot]; ok {
+		st.proc.HandleTimer(inner)
+	}
+}
+
+func (r *Replica) onPropose(from consensus.ProcessID, msg ClientPropose) {
+	if r.id != Leader() {
+		r.env.Send(from, Redirect{Leader: Leader()})
+		return
+	}
+	if r.nextSlot >= r.cfg.MaxSlots {
+		r.env.Logf("rsm: log full at %d slots", r.nextSlot)
+		return
+	}
+	slot := r.assignSlot()
+	r.pending[slot] = msg.Cmd
+	r.waiters[slot] = append(r.waiters[slot], from)
+	r.instance(slot, msg.Cmd) // starts the prepared leader instance
+}
+
+// assignSlot allocates the next log slot, persisting the counter so a
+// restarted proposer never reuses one.
+func (r *Replica) assignSlot() int64 {
+	slot := r.nextSlot
+	r.nextSlot++
+	if err := r.env.Store().Put("rsm-next", r.nextSlot); err != nil {
+		r.env.Logf("rsm: persist next: %v", err)
+	}
+	return slot
+}
+
+func (r *Replica) onQuery(from consensus.ProcessID, msg Query) {
+	r.mu.Lock()
+	val, found := r.kv.Get(msg.Key)
+	r.mu.Unlock()
+	r.env.Send(from, QueryReply{Key: msg.Key, Value: val, Found: found, Applied: r.applied})
+}
+
+func (r *Replica) onSlotMsg(from consensus.ProcessID, msg SlotMsg) {
+	if msg.Slot < 0 || msg.Slot >= r.cfg.MaxSlots || msg.Inner == nil {
+		return
+	}
+	st := r.instance(msg.Slot, NoOp)
+	st.proc.HandleMessage(from, msg.Inner)
+}
+
+// instance returns the slot's protocol instance, creating (and Init-ing) it
+// on demand with the given proposal.
+func (r *Replica) instance(slot int64, proposal consensus.Value) *slotState {
+	if st, ok := r.slots[slot]; ok {
+		return st
+	}
+	env := &slotEnv{replica: r, slot: slot}
+	st := &slotState{proc: r.factory(r.id, r.n, proposal), env: env}
+	r.slots[slot] = st
+	st.proc.Init(env)
+	return st
+}
+
+// onSlotDecided records a slot decision, applies ready slots, and acks
+// waiting clients.
+func (r *Replica) onSlotDecided(slot int64, v consensus.Value) {
+	if _, ok := r.decisions[slot]; ok {
+		return
+	}
+	r.decisions[slot] = v
+	if err := r.env.Store().Put("rsm-decided", r.decisions); err != nil {
+		r.env.Logf("rsm: persist decided: %v", err)
+	}
+	r.env.Emit("rsm-slot-decided", slot)
+	r.applyReady()
+
+	if cmd, ok := r.pending[slot]; ok && cmd != v {
+		// The slot was stolen (typically by a NoOp recovery ballot):
+		// re-propose the command in a fresh slot and move its waiters.
+		delete(r.pending, slot)
+		if r.nextSlot < r.cfg.MaxSlots {
+			again := r.assignSlot()
+			r.pending[again] = cmd
+			r.waiters[again] = r.waiters[slot]
+			delete(r.waiters, slot)
+			r.instance(again, cmd)
+			return
+		}
+	}
+	delete(r.pending, slot)
+	for _, client := range r.waiters[slot] {
+		r.env.Send(client, Committed{Slot: slot, Cmd: v})
+	}
+	delete(r.waiters, slot)
+}
+
+// applyReady applies decided slots in order until the first gap.
+func (r *Replica) applyReady() {
+	for {
+		v, ok := r.decisions[r.applied]
+		if !ok {
+			return
+		}
+		if v != NoOp {
+			r.mu.Lock()
+			r.applier.Apply(r.applied, v)
+			r.mu.Unlock()
+		}
+		r.applied++
+	}
+}
+
+// Applied returns the number of contiguous applied slots (safe from the
+// event loop; tests use Query instead).
+func (r *Replica) Applied() int64 { return r.applied }
+
+// KVStore is the built-in "set key value" state machine.
+type KVStore struct {
+	data map[string]string
+	log  []consensus.Value
+}
+
+// NewKVStore returns an empty store.
+func NewKVStore() *KVStore { return &KVStore{data: make(map[string]string)} }
+
+var _ Applier = (*KVStore)(nil)
+
+// Apply implements Applier: commands are "set <key> <value>"; anything else
+// is appended to the raw log only.
+func (s *KVStore) Apply(_ int64, cmd consensus.Value) {
+	s.log = append(s.log, cmd)
+	fields := strings.Fields(string(cmd))
+	if len(fields) == 3 && fields[0] == "set" {
+		s.data[fields[1]] = fields[2]
+	}
+}
+
+// Get returns the applied value of a key.
+func (s *KVStore) Get(key string) (string, bool) {
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Log returns the applied command log.
+func (s *KVStore) Log() []consensus.Value {
+	out := make([]consensus.Value, len(s.log))
+	copy(out, s.log)
+	return out
+}

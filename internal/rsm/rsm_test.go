@@ -1,0 +1,220 @@
+package rsm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+	"repro/internal/live"
+)
+
+const delta = 20 * time.Millisecond
+
+func newGroup(t *testing.T, n int, transport live.Transport) (*live.Cluster, *Client) {
+	t.Helper()
+	factory, err := New(Config{Paxos: modpaxos.Config{Delta: delta}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposals := make([]consensus.Value, n)
+	cluster, err := live.NewCluster(live.Config{N: n, Delta: delta, Transport: transport}, factory, proposals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport
+	if tr == nil {
+		t.Fatal("transport required")
+	}
+	client := NewClient(consensus.ProcessID(n), tr)
+	client.SetTimeout(10 * time.Second)
+	t.Cleanup(func() { _ = cluster.Stop() })
+	cluster.Start()
+	return cluster, client
+}
+
+func TestCommitAndReadBack(t *testing.T) {
+	transport := live.NewMemTransport(live.MemTransportConfig{MaxDelay: delta})
+	_, client := newGroup(t, 3, transport)
+
+	slot, err := client.Propose("set color blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 0 {
+		t.Fatalf("first command in slot %d, want 0", slot)
+	}
+	for replica := consensus.ProcessID(0); replica < 3; replica++ {
+		v, found, err := client.Get(replica, "color", slot+1)
+		if err != nil {
+			t.Fatalf("replica %d: %v", replica, err)
+		}
+		if !found || v != "blue" {
+			t.Fatalf("replica %d: got (%q,%v), want (blue,true)", replica, v, found)
+		}
+	}
+}
+
+func TestSequentialCommandsApplyInOrder(t *testing.T) {
+	transport := live.NewMemTransport(live.MemTransportConfig{MaxDelay: delta / 2})
+	_, client := newGroup(t, 3, transport)
+
+	var lastSlot int64
+	for i := 0; i < 5; i++ {
+		slot, err := client.Propose(consensus.Value(fmt.Sprintf("set k%d v%d", i, i)))
+		if err != nil {
+			t.Fatalf("command %d: %v", i, err)
+		}
+		if slot != int64(i) {
+			t.Fatalf("command %d landed in slot %d", i, slot)
+		}
+		lastSlot = slot
+	}
+	// Overwrites apply in slot order.
+	if _, err := client.Propose("set k0 final"); err != nil {
+		t.Fatal(err)
+	}
+	lastSlot++
+	for replica := consensus.ProcessID(0); replica < 3; replica++ {
+		v, found, err := client.Get(replica, "k0", lastSlot+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || v != "final" {
+			t.Fatalf("replica %d: k0=(%q,%v), want final", replica, v, found)
+		}
+	}
+}
+
+func TestCommitLatencyIsThreeDelaysStable(t *testing.T) {
+	// The §4 stable-case claim, live: with phase 1 pre-executed, a commit
+	// takes ~3 message delays. We allow generous scheduling slack but it
+	// must be well below a full unprepared ballot (≥ 5 delays + session
+	// timers).
+	transport := live.NewMemTransport(live.MemTransportConfig{MaxDelay: delta})
+	_, client := newGroup(t, 5, transport)
+
+	// Warm up one command (creates instances lazily).
+	if _, err := client.Propose("set warm up"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := client.Propose("set fast path"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 8*delta {
+		t.Errorf("stable-path commit took %v (%.1fδ), want ≈3δ", elapsed, float64(elapsed)/float64(delta))
+	}
+}
+
+func TestRedirectFromFollower(t *testing.T) {
+	transport := live.NewMemTransport(live.MemTransportConfig{MaxDelay: delta})
+	_, client := newGroup(t, 3, transport)
+
+	// Manually poke a follower; the client logic must follow the
+	// redirect transparently (exercised by proposing through the normal
+	// API after nudging the leader pointer).
+	transport.Send(client.id, 2, ClientPropose{Cmd: "set x 1"})
+	if _, err := client.Propose("set y 2"); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := client.Get(0, "y", 0)
+	if err != nil || !found || v != "2" {
+		t.Fatalf("y = (%q,%v,%v), want 2", v, found, err)
+	}
+}
+
+func TestLeaderRestartRecoversLog(t *testing.T) {
+	transport := live.NewMemTransport(live.MemTransportConfig{MaxDelay: delta / 2})
+	cluster, client := newGroup(t, 3, transport)
+
+	if _, err := client.Propose("set a 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Propose("set b 2"); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Crash(0)
+	time.Sleep(50 * time.Millisecond)
+	cluster.Restart(0)
+
+	// The restarted leader recovers its decided log from stable storage
+	// and serves reads.
+	v, found, err := client.Get(0, "a", 2)
+	if err != nil || !found || v != "1" {
+		t.Fatalf("after restart a = (%q,%v,%v), want 1", v, found, err)
+	}
+	// And accepts new proposals in fresh slots.
+	slot, err := client.Propose("set c 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot < 2 {
+		t.Fatalf("post-restart command reused slot %d", slot)
+	}
+}
+
+func TestRSMOverTCP(t *testing.T) {
+	RegisterMessages()
+	ids := []consensus.ProcessID{0, 1, 2, 3} // 3 replicas + 1 client
+	transport, err := live.NewTCPTransport(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, client := newGroup(t, 3, transport)
+	if _, err := client.Propose("set net tcp"); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := client.Get(1, "net", 1)
+	if err != nil || !found || v != "tcp" {
+		t.Fatalf("net = (%q,%v,%v), want tcp", v, found, err)
+	}
+}
+
+func TestKVStoreApply(t *testing.T) {
+	kv := NewKVStore()
+	kv.Apply(0, "set a 1")
+	kv.Apply(1, "not-a-set-command")
+	kv.Apply(2, "set a 2")
+	if v, ok := kv.Get("a"); !ok || v != "2" {
+		t.Fatalf("a = (%q,%v), want 2", v, ok)
+	}
+	if _, ok := kv.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	if log := kv.Log(); len(log) != 3 || log[1] != "not-a-set-command" {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+func TestPrefixStoreIsolation(t *testing.T) {
+	factory, err := New(Config{Paxos: modpaxos.Config{Delta: delta}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = factory
+	// Direct prefixStore behaviour is covered through the storage tests;
+	// here check namespacing via two slots of one replica group after a
+	// couple of commits.
+	transport := live.NewMemTransport(live.MemTransportConfig{MaxDelay: delta / 2})
+	_, client := newGroup(t, 3, transport)
+	if _, err := client.Propose("set p 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Propose("set q 2"); err != nil {
+		t.Fatal(err)
+	}
+	v1, _, err := client.Get(0, "p", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := client.Get(0, "q", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != "1" || v2 != "2" {
+		t.Fatalf("p=%q q=%q, want 1/2", v1, v2)
+	}
+}

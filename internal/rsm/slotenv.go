@@ -1,0 +1,113 @@
+package rsm
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/storage"
+)
+
+// slotEnv is the slot-scoped view of the replica's environment handed to
+// each inner modpaxos instance: messages are wrapped in SlotMsg, timers are
+// remapped into the slot's ID block, storage keys are prefixed, and Decide
+// feeds the replica's log instead of the outer consensus checker (an RSM
+// decides many values, one per slot).
+type slotEnv struct {
+	replica *Replica
+	slot    int64
+}
+
+var _ consensus.Environment = (*slotEnv)(nil)
+
+// ID implements consensus.Environment.
+func (e *slotEnv) ID() consensus.ProcessID { return e.replica.id }
+
+// N implements consensus.Environment.
+func (e *slotEnv) N() int { return e.replica.n }
+
+// Now implements consensus.Environment.
+func (e *slotEnv) Now() time.Duration { return e.replica.env.Now() }
+
+// Send implements consensus.Environment.
+func (e *slotEnv) Send(to consensus.ProcessID, m consensus.Message) {
+	e.replica.env.Send(to, SlotMsg{Slot: e.slot, Inner: m})
+}
+
+// Broadcast implements consensus.Environment.
+func (e *slotEnv) Broadcast(m consensus.Message) {
+	e.replica.env.Broadcast(SlotMsg{Slot: e.slot, Inner: m})
+}
+
+// SetTimer implements consensus.Environment. Inner timer IDs must fit the
+// slot's block.
+func (e *slotEnv) SetTimer(id consensus.TimerID, d time.Duration) {
+	if int64(id) >= timersPerSlot {
+		panic(fmt.Sprintf("rsm: inner timer id %d exceeds block size %d", id, timersPerSlot))
+	}
+	e.replica.env.SetTimer(consensus.TimerID(e.slot*timersPerSlot+int64(id)), d)
+}
+
+// CancelTimer implements consensus.Environment.
+func (e *slotEnv) CancelTimer(id consensus.TimerID) {
+	e.replica.env.CancelTimer(consensus.TimerID(e.slot*timersPerSlot + int64(id)))
+}
+
+// Store implements consensus.Environment.
+func (e *slotEnv) Store() storage.Store {
+	return prefixStore{inner: e.replica.env.Store(), prefix: fmt.Sprintf("slot%d/", e.slot)}
+}
+
+// Rand implements consensus.Environment.
+func (e *slotEnv) Rand() *rand.Rand { return e.replica.env.Rand() }
+
+// Decide implements consensus.Environment: a slot decision goes to the
+// replica's log.
+func (e *slotEnv) Decide(v consensus.Value) { e.replica.onSlotDecided(e.slot, v) }
+
+// Emit implements consensus.Environment.
+func (e *slotEnv) Emit(kind string, value int64) {
+	e.replica.env.Emit(fmt.Sprintf("slot%d-%s", e.slot, kind), value)
+}
+
+// Logf implements consensus.Environment.
+func (e *slotEnv) Logf(format string, args ...any) {
+	e.replica.env.Logf("slot %d: "+format, append([]any{e.slot}, args...)...)
+}
+
+// prefixStore namespaces a storage.Store by key prefix so slot instances
+// cannot collide.
+type prefixStore struct {
+	inner  storage.Store
+	prefix string
+}
+
+var _ storage.Store = prefixStore{}
+
+// Put implements storage.Store.
+func (s prefixStore) Put(key string, value any) error { return s.inner.Put(s.prefix+key, value) }
+
+// Get implements storage.Store.
+func (s prefixStore) Get(key string, out any) (bool, error) {
+	return s.inner.Get(s.prefix+key, out)
+}
+
+// Delete implements storage.Store.
+func (s prefixStore) Delete(key string) error { return s.inner.Delete(s.prefix + key) }
+
+// Keys implements storage.Store: only keys in this slot's namespace, with
+// the prefix stripped.
+func (s prefixStore) Keys() ([]string, error) {
+	all, err := s.inner.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, k := range all {
+		if len(k) >= len(s.prefix) && k[:len(s.prefix)] == s.prefix {
+			out = append(out, k[len(s.prefix):])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+// Package sim implements a deterministic discrete-event simulator.
+//
+// The simulator advances a virtual global clock by executing scheduled
+// events in (time, sequence) order. All scheduling happens through a single
+// Engine; there are no goroutines, so a run is a pure function of the
+// initial schedule and the seed of the engine's random source. This is the
+// substrate on which the paper's eventually-synchronous system model
+// (internal/simnet) is built.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// executed counts events run so far (for budget enforcement and tests).
+	executed uint64
+	// limit, when non-zero, bounds the number of executed events as a
+	// runaway-schedule backstop.
+	limit uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual global time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source. Everything in a
+// simulation that needs randomness must draw from this source (or a source
+// derived from it) to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetEventLimit bounds the total number of events the engine will execute;
+// Run methods return early once the limit is hit. Zero means no limit.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Event is a handle to a scheduled callback. Cancel prevents a pending
+// event from running.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from executing. Canceling an already-executed
+// or already-canceled event is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.canceled = true
+		ev.fn = nil
+	}
+}
+
+// Canceled reports whether the event has been canceled.
+func (ev *Event) Canceled() bool { return ev != nil && ev.canceled }
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Schedule runs fn at virtual time at. Scheduling in the past (before Now)
+// panics: it always indicates a bug in the model, never a recoverable
+// condition.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn d from now. Negative d is treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Stop makes the current Run call return after the current event finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its time.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: event at %v, now %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		e.executed++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, the time horizon passes, Stop
+// is called, or the event limit is reached. Events scheduled exactly at the
+// horizon still run; the first event strictly beyond it stays queued and the
+// clock is left at the horizon.
+func (e *Engine) Run(until time.Duration) {
+	e.stopped = false
+	for !e.stopped {
+		if e.limit > 0 && e.executed >= e.limit {
+			return
+		}
+		ev := e.queue.peek()
+		if ev == nil {
+			return
+		}
+		if ev.at > until {
+			if until > e.now {
+				e.now = until
+			}
+			return
+		}
+		e.Step()
+	}
+}
+
+// RunUntil executes events until pred returns true (checked after each
+// event), the horizon passes, or the queue drains. It reports whether pred
+// held when it returned.
+func (e *Engine) RunUntil(pred func() bool, horizon time.Duration) bool {
+	if pred() {
+		return true
+	}
+	e.stopped = false
+	for !e.stopped {
+		if e.limit > 0 && e.executed >= e.limit {
+			return pred()
+		}
+		ev := e.queue.peek()
+		if ev == nil || ev.at > horizon {
+			if e.now < horizon {
+				e.now = horizon
+			}
+			return pred()
+		}
+		e.Step()
+		if pred() {
+			return true
+		}
+	}
+	return pred()
+}
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventQueue is a min-heap ordered by (time, sequence), giving a total,
+// deterministic order over simultaneous events.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+func (q *eventQueue) peek() *Event {
+	// Discard canceled events lazily so Run's horizon check sees the next
+	// live event.
+	for q.Len() > 0 {
+		if !(*q)[0].canceled {
+			return (*q)[0]
+		}
+		heap.Pop(q)
+	}
+	return nil
+}

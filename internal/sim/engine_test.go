@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []time.Duration
+	for _, d := range []time.Duration{30, 10, 20, 10, 5} {
+		d := d * time.Millisecond
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.Run(time.Second)
+	want := []time.Duration{5, 10, 10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Fatalf("event %d ran at %v, want %v", i, got[i], want[i]*time.Millisecond)
+		}
+	}
+}
+
+func TestSimultaneousEventsRunInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(time.Second)
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("simultaneous events ran out of schedule order: %v", got)
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.After(10*time.Millisecond, func() {
+		at = e.Now()
+		e.After(5*time.Millisecond, func() { at = e.Now() })
+	})
+	e.Run(time.Second)
+	if at != 15*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 15ms", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ev := e.After(time.Millisecond, func() { ran = true })
+	ev.Cancel()
+	e.Run(time.Second)
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() should report true")
+	}
+}
+
+func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.After(time.Millisecond, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+	e.Run(time.Second)
+}
+
+func TestRunHorizonStopsAndSetsClock(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(10*time.Millisecond, func() { ran++ })
+	e.Schedule(20*time.Millisecond, func() { ran++ }) // exactly at horizon: runs
+	e.Schedule(30*time.Millisecond, func() { ran++ }) // beyond horizon: queued
+	e.Run(20 * time.Millisecond)
+	if ran != 2 {
+		t.Fatalf("ran %d events before horizon, want 2", ran)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Fatalf("clock at %v after horizon run, want 20ms", e.Now())
+	}
+	e.Run(time.Second)
+	if ran != 3 {
+		t.Fatalf("ran %d events total, want 3", ran)
+	}
+}
+
+func TestRunUntilPredicate(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	ok := e.RunUntil(func() bool { return count == 3 }, time.Second)
+	if !ok || count != 3 {
+		t.Fatalf("RunUntil stopped with count=%d ok=%v, want 3/true", count, ok)
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("clock at %v, want 3ms", e.Now())
+	}
+}
+
+func TestRunUntilHorizonMiss(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Hour, func() {})
+	ok := e.RunUntil(func() bool { return false }, time.Second)
+	if ok {
+		t.Fatal("predicate cannot hold")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock should rest at horizon, got %v", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Millisecond, func() { ran++; e.Stop() })
+	e.Schedule(2*time.Millisecond, func() { ran++ })
+	e.Run(time.Second)
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the run: ran=%d", ran)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.Schedule(5*time.Millisecond, func() {})
+	})
+	e.Run(time.Second)
+}
+
+func TestEventLimit(t *testing.T) {
+	e := NewEngine(1)
+	e.SetEventLimit(5)
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		e.After(time.Millisecond, loop)
+	}
+	e.After(0, loop)
+	e.Run(time.Hour)
+	if count != 5 {
+		t.Fatalf("event limit executed %d events, want 5", count)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		e := NewEngine(seed)
+		var log []time.Duration
+		var step func()
+		step = func() {
+			log = append(log, e.Now())
+			if len(log) < 50 {
+				e.After(time.Duration(1+e.Rand().Intn(10))*time.Millisecond, step)
+			}
+		}
+		e.After(0, step)
+		e.Run(time.Hour)
+		return log
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different run lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+// Property: any batch of randomly-timed events executes in nondecreasing
+// time order and the clock never runs backwards.
+func TestQuickMonotoneExecution(t *testing.T) {
+	f := func(seed int64, delaysMs []uint16) bool {
+		e := NewEngine(seed)
+		var times []time.Duration
+		for _, d := range delaysMs {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, e.Now())
+			})
+		}
+		e.Run(time.Hour)
+		if len(times) != len(delaysMs) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Millisecond, func() {})
+	e.Schedule(2*time.Millisecond, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run(time.Second)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", e.Pending())
+	}
+}

@@ -1,0 +1,190 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core/consensus"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Node hosts one process inside a simulated network and implements
+// consensus.Environment for it. The node owns the process's stable storage
+// (which survives crashes) and its pending timers (which do not).
+type Node struct {
+	nw       *Network
+	id       consensus.ProcessID
+	factory  consensus.Factory
+	proposal consensus.Value
+	drift    clock.Drift
+
+	proc   consensus.Process
+	up     bool
+	store  *storage.MemStore
+	timers map[consensus.TimerID]*sim.Event
+
+	decided    bool
+	decision   consensus.Value
+	decidedAt  time.Duration // global time of first decision
+	startedAt  time.Duration // global time of most recent start/restart
+	crashCount int
+}
+
+func newNode(nw *Network, id consensus.ProcessID, factory consensus.Factory, proposal consensus.Value, drift clock.Drift) *Node {
+	return &Node{
+		nw:       nw,
+		id:       id,
+		factory:  factory,
+		proposal: proposal,
+		drift:    drift,
+		store:    storage.NewMemStore(),
+		timers:   make(map[consensus.TimerID]*sim.Event),
+	}
+}
+
+// start boots (or reboots) the process at the current virtual time.
+func (n *Node) start() {
+	if n.up {
+		return
+	}
+	n.up = true
+	n.startedAt = n.nw.eng.Now()
+	n.proc = n.factory(n.id, n.nw.cfg.N, n.proposal)
+	n.proc.Init(n)
+}
+
+// crash stops the process: volatile state (the Process object and all
+// pending timers) is discarded; stable storage is kept.
+func (n *Node) crash() {
+	if !n.up {
+		return
+	}
+	n.up = false
+	n.proc = nil
+	n.crashCount++
+	for id, ev := range n.timers {
+		ev.Cancel()
+		delete(n.timers, id)
+	}
+}
+
+// deliver hands a message to the process if it is up; messages arriving at a
+// crashed process are lost (omission model).
+func (n *Node) deliver(from consensus.ProcessID, m consensus.Message) {
+	if !n.up {
+		n.nw.collector.MessageDropped(m.Type())
+		return
+	}
+	n.nw.collector.MessageDelivered(m.Type())
+	n.proc.HandleMessage(from, m)
+	n.nw.notifyDelivered(from, n.id, m)
+}
+
+// --- consensus.Environment implementation ---
+
+var _ consensus.Environment = (*Node)(nil)
+
+// ID implements consensus.Environment.
+func (n *Node) ID() consensus.ProcessID { return n.id }
+
+// N implements consensus.Environment.
+func (n *Node) N() int { return n.nw.cfg.N }
+
+// Now implements consensus.Environment: the local (possibly drifting) clock.
+func (n *Node) Now() time.Duration { return n.drift.Local(n.nw.eng.Now()) }
+
+// GlobalNow returns the global virtual time (for tests and metrics; not part
+// of the Environment interface, so protocols cannot cheat with it).
+func (n *Node) GlobalNow() time.Duration { return n.nw.eng.Now() }
+
+// Send implements consensus.Environment.
+func (n *Node) Send(to consensus.ProcessID, m consensus.Message) {
+	n.nw.route(n.id, to, m)
+}
+
+// Broadcast implements consensus.Environment: sends to every process,
+// including the sender (the paper's leaders message themselves too).
+func (n *Node) Broadcast(m consensus.Message) {
+	for i := 0; i < n.nw.cfg.N; i++ {
+		n.nw.route(n.id, consensus.ProcessID(i), m)
+	}
+}
+
+// SetTimer implements consensus.Environment. The duration counts on the
+// process's local clock; the node converts it to global time. Re-arming an
+// already-pending timer replaces it.
+func (n *Node) SetTimer(id consensus.TimerID, d time.Duration) {
+	if prev, ok := n.timers[id]; ok {
+		prev.Cancel()
+	}
+	global := n.drift.GlobalElapsed(d)
+	n.timers[id] = n.nw.eng.After(global, func() {
+		delete(n.timers, id)
+		if n.up {
+			n.proc.HandleTimer(id)
+		}
+	})
+}
+
+// CancelTimer implements consensus.Environment.
+func (n *Node) CancelTimer(id consensus.TimerID) {
+	if ev, ok := n.timers[id]; ok {
+		ev.Cancel()
+		delete(n.timers, id)
+	}
+}
+
+// Store implements consensus.Environment.
+func (n *Node) Store() storage.Store { return n.store }
+
+// Rand implements consensus.Environment.
+func (n *Node) Rand() *rand.Rand { return n.nw.eng.Rand() }
+
+// Decide implements consensus.Environment.
+func (n *Node) Decide(v consensus.Value) {
+	now := n.nw.eng.Now()
+	// The checker flags disagreement and re-decision with a different
+	// value; a repeated identical Decide (restart) is idempotent.
+	_ = n.nw.checker.RecordDecision(consensus.Decision{Proc: n.id, Value: v, At: now})
+	if !n.decided {
+		n.decided = true
+		n.decision = v
+		n.decidedAt = now
+		n.nw.collector.Emit(now, int(n.id), "decide", 1)
+	}
+}
+
+// Emit implements consensus.Environment.
+func (n *Node) Emit(kind string, value int64) {
+	n.nw.collector.Emit(n.nw.eng.Now(), int(n.id), kind, value)
+}
+
+// Logf implements consensus.Environment.
+func (n *Node) Logf(format string, args ...any) {
+	if n.nw.cfg.Debug {
+		n.nw.collector.Logf(n.nw.eng.Now(), int(n.id), format, args...)
+	}
+}
+
+// --- inspection helpers for tests and the harness ---
+
+// Decided reports whether the process has decided, and the value.
+func (n *Node) Decided() (consensus.Value, bool) { return n.decision, n.decided }
+
+// DecidedAtGlobal returns the global time of the first decision.
+func (n *Node) DecidedAtGlobal() (time.Duration, bool) { return n.decidedAt, n.decided }
+
+// StartedAtGlobal returns the global time of the most recent (re)start.
+func (n *Node) StartedAtGlobal() time.Duration { return n.startedAt }
+
+// CrashCount returns how many times the process has crashed.
+func (n *Node) CrashCount() int { return n.crashCount }
+
+// Up reports whether the process is currently running.
+func (n *Node) Up() bool { return n.up }
+
+// Process returns the hosted protocol instance (nil while crashed). Tests
+// use this to inspect protocol-level state; production code must not.
+func (n *Node) Process() consensus.Process { return n.proc }

@@ -1,0 +1,94 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core/consensus"
+)
+
+// Transmission describes one message in flight before stabilization, given
+// to the Policy to decide its fate.
+type Transmission struct {
+	From, To consensus.ProcessID
+	Msg      consensus.Message
+	// SentAt is the global send time (< TS by construction).
+	SentAt time.Duration
+	// TS and Delta restate the network parameters for convenience.
+	TS    time.Duration
+	Delta time.Duration
+}
+
+// Fate is a policy's ruling on a pre-stability message.
+type Fate struct {
+	// Drop loses the message entirely.
+	Drop bool
+	// Delay is the transit time when not dropped. It may exceed TS−SentAt:
+	// that is how obsolete messages surface after stabilization.
+	Delay time.Duration
+}
+
+// Policy decides the fate of every message sent before TS. Implementations
+// must draw randomness only from the supplied source to keep runs
+// deterministic.
+type Policy interface {
+	Fate(tx Transmission, rng *rand.Rand) Fate
+}
+
+// Synchronous makes the pre-TS network behave exactly like the post-TS one:
+// delivery within δ. Useful as a best-case baseline and for TS=0 runs.
+type Synchronous struct{}
+
+// Fate implements Policy.
+func (Synchronous) Fate(tx Transmission, rng *rand.Rand) Fate {
+	return Fate{Delay: tx.Delta / 10 * time.Duration(1+rng.Int63n(9))}
+}
+
+// DropAll loses every pre-TS message — total partition until stabilization.
+// This is the scenario behind the paper's observation that consensus must
+// take Ω(δ) after TS: no pre-TS communication survives.
+type DropAll struct{}
+
+// Fate implements Policy.
+func (DropAll) Fate(Transmission, *rand.Rand) Fate { return Fate{Drop: true} }
+
+// Chaos drops each pre-TS message with probability DropProb and delays
+// survivors uniformly in [0, MaxDelay]. With MaxDelay > TS−SentAt, survivors
+// can arrive after stabilization as obsolete messages.
+type Chaos struct {
+	// DropProb is the per-message loss probability in [0,1].
+	DropProb float64
+	// MaxDelay is the maximum transit time of surviving messages. Zero
+	// means 2·TS (so roughly half of late messages land after TS).
+	MaxDelay time.Duration
+}
+
+// Fate implements Policy.
+func (c Chaos) Fate(tx Transmission, rng *rand.Rand) Fate {
+	if rng.Float64() < c.DropProb {
+		return Fate{Drop: true}
+	}
+	maxDelay := c.MaxDelay
+	if maxDelay == 0 {
+		maxDelay = 2 * tx.TS
+	}
+	if maxDelay <= 0 {
+		return Fate{Delay: 0}
+	}
+	return Fate{Delay: time.Duration(rng.Int63n(int64(maxDelay) + 1))}
+}
+
+// Partition splits processes into groups; messages crossing group boundaries
+// before TS are dropped, messages within a group are delivered within δ.
+type Partition struct {
+	// Group maps each process to a partition index.
+	Group map[consensus.ProcessID]int
+}
+
+// Fate implements Policy.
+func (p Partition) Fate(tx Transmission, rng *rand.Rand) Fate {
+	if p.Group[tx.From] != p.Group[tx.To] {
+		return Fate{Drop: true}
+	}
+	return Synchronous{}.Fate(tx, rng)
+}

@@ -1,0 +1,277 @@
+// Package simnet realizes the paper's eventually-synchronous system model on
+// top of the deterministic simulator (internal/sim):
+//
+//   - There is a global stabilization time TS. Messages sent at or after TS
+//     between nonfaulty processes are delivered within δ (δ includes
+//     processing time; handlers execute instantaneously at delivery).
+//   - Messages sent before TS are handed to a pre-stability Policy, which
+//     may drop them or delay them arbitrarily — including past TS. These
+//     late deliveries are exactly the "obsolete messages" that make the
+//     paper's problem hard.
+//   - Processes may crash and restart. A crash discards volatile state and
+//     cancels timers; stable storage survives. A restarted process resumes
+//     via its protocol factory reading the store.
+//   - Each process has a local clock with a bounded rate error ρ; protocol
+//     timers count local time.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core/consensus"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config describes one simulated cluster.
+type Config struct {
+	// N is the number of processes (numbered 0..N−1).
+	N int
+	// Delta is δ, the post-stabilization message-delivery bound.
+	Delta time.Duration
+	// TS is the global stabilization time.
+	TS time.Duration
+	// MinDelay is the lower edge of post-TS delivery latency. Defaults to
+	// Delta/10 if zero; must be ≤ Delta.
+	MinDelay time.Duration
+	// Policy governs messages sent before TS. Nil means Synchronous (the
+	// network behaves as if stable from time 0 — only meaningful with
+	// TS=0 or as a best-case baseline).
+	Policy Policy
+	// Rho is the bound on local clock rate error after TS.
+	Rho float64
+	// Drift optionally supplies an explicit clock per process; when nil,
+	// clocks get deterministic rates spread across [1−Rho, 1+Rho].
+	Drift func(id consensus.ProcessID) clock.Drift
+	// Collector receives trace events; one is created when nil.
+	Collector *trace.Collector
+	// Debug enables Logf forwarding into the collector.
+	Debug bool
+}
+
+func (c *Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("simnet: N must be ≥ 1, got %d", c.N)
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("simnet: Delta must be positive, got %v", c.Delta)
+	}
+	if c.TS < 0 {
+		return fmt.Errorf("simnet: TS must be ≥ 0, got %v", c.TS)
+	}
+	if c.MinDelay < 0 || c.MinDelay > c.Delta {
+		return fmt.Errorf("simnet: MinDelay %v outside [0, Delta=%v]", c.MinDelay, c.Delta)
+	}
+	if c.Rho < 0 || c.Rho >= 1 {
+		return fmt.Errorf("simnet: Rho must be in [0,1), got %v", c.Rho)
+	}
+	return nil
+}
+
+// Network is a simulated cluster of processes.
+type Network struct {
+	eng       *sim.Engine
+	cfg       Config
+	nodes     []*Node
+	collector *trace.Collector
+	checker   *consensus.SafetyChecker
+	observers []DeliveryObserver
+}
+
+// DeliveryObserver is notified after every successful message delivery.
+// Adaptive adversaries use this to time their injections against protocol
+// progress (modeling a worst-case scheduler).
+type DeliveryObserver func(at time.Duration, from, to consensus.ProcessID, m consensus.Message)
+
+// New builds a network on the engine. Processes are created but not started;
+// call Start (or StartExcept) to bring them up at the current virtual time.
+func New(eng *sim.Engine, cfg Config, factory consensus.Factory, proposals []consensus.Value) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(proposals) != cfg.N {
+		return nil, fmt.Errorf("simnet: %d proposals for %d processes", len(proposals), cfg.N)
+	}
+	if cfg.MinDelay == 0 {
+		cfg.MinDelay = cfg.Delta / 10
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = Synchronous{}
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = trace.NewCollector()
+	}
+
+	nw := &Network{
+		eng:       eng,
+		cfg:       cfg,
+		collector: cfg.Collector,
+		checker:   consensus.NewSafetyChecker(),
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := consensus.ProcessID(i)
+		d := nw.driftFor(id)
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("simnet: process %d: %w", i, err)
+		}
+		nw.nodes = append(nw.nodes, newNode(nw, id, factory, proposals[i], d))
+		nw.checker.RecordProposal(id, proposals[i])
+	}
+	return nw, nil
+}
+
+// driftFor assigns clock rates deterministically across [1−ρ, 1+ρ] so that
+// different processes genuinely disagree about elapsed time.
+func (nw *Network) driftFor(id consensus.ProcessID) clock.Drift {
+	if nw.cfg.Drift != nil {
+		return nw.cfg.Drift(id)
+	}
+	if nw.cfg.Rho == 0 || nw.cfg.N == 1 {
+		return clock.Perfect()
+	}
+	frac := float64(id) / float64(nw.cfg.N-1) // 0..1 across processes
+	rate := 1 - nw.cfg.Rho + 2*nw.cfg.Rho*frac
+	return clock.WithRate(rate)
+}
+
+// Engine returns the underlying simulation engine.
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Collector returns the run's trace collector.
+func (nw *Network) Collector() *trace.Collector { return nw.collector }
+
+// Checker returns the run's safety checker.
+func (nw *Network) Checker() *consensus.SafetyChecker { return nw.checker }
+
+// Config returns the network's configuration (with defaults applied).
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Node returns the node for a process.
+func (nw *Network) Node(id consensus.ProcessID) *Node { return nw.nodes[id] }
+
+// Start brings every process up at the current virtual time.
+func (nw *Network) Start() {
+	for _, n := range nw.nodes {
+		n.start()
+	}
+}
+
+// StartExcept brings up every process not listed in down; the listed ones
+// stay crashed until explicitly restarted (they model processes that failed
+// before TS and may or may not ever come back).
+func (nw *Network) StartExcept(down ...consensus.ProcessID) {
+	excluded := make(map[consensus.ProcessID]bool, len(down))
+	for _, id := range down {
+		excluded[id] = true
+	}
+	for _, n := range nw.nodes {
+		if !excluded[n.id] {
+			n.start()
+		}
+	}
+}
+
+// CrashAt schedules a crash of process id at virtual time at.
+func (nw *Network) CrashAt(id consensus.ProcessID, at time.Duration) {
+	nw.eng.Schedule(at, func() { nw.nodes[id].crash() })
+}
+
+// RestartAt schedules a restart of process id at virtual time at.
+func (nw *Network) RestartAt(id consensus.ProcessID, at time.Duration) {
+	nw.eng.Schedule(at, func() { nw.nodes[id].start() })
+}
+
+// Inject schedules delivery of a message to a process at an absolute virtual
+// time, bypassing the delay model. Adversaries use this to plant obsolete
+// messages ("sent" by failed processes before TS) and oracles use it for
+// out-of-band announcements.
+func (nw *Network) Inject(at time.Duration, from, to consensus.ProcessID, m consensus.Message) {
+	nw.eng.Schedule(at, func() {
+		nw.nodes[to].deliver(from, m)
+	})
+}
+
+// Observe registers a delivery observer.
+func (nw *Network) Observe(fn DeliveryObserver) {
+	nw.observers = append(nw.observers, fn)
+}
+
+// notifyDelivered runs the registered observers.
+func (nw *Network) notifyDelivered(from, to consensus.ProcessID, m consensus.Message) {
+	for _, fn := range nw.observers {
+		fn(nw.eng.Now(), from, to, m)
+	}
+}
+
+// Up reports whether the process is currently running.
+func (nw *Network) Up(id consensus.ProcessID) bool { return nw.nodes[id].up }
+
+// UpIDs returns the IDs of all currently-running processes.
+func (nw *Network) UpIDs() []consensus.ProcessID {
+	var ids []consensus.ProcessID
+	for _, n := range nw.nodes {
+		if n.up {
+			ids = append(ids, n.id)
+		}
+	}
+	return ids
+}
+
+// AllIDs returns every process ID.
+func (nw *Network) AllIDs() []consensus.ProcessID {
+	ids := make([]consensus.ProcessID, nw.cfg.N)
+	for i := range ids {
+		ids[i] = consensus.ProcessID(i)
+	}
+	return ids
+}
+
+// route computes and schedules delivery of a protocol message.
+func (nw *Network) route(from, to consensus.ProcessID, m consensus.Message) {
+	nw.collector.MessageSent(m.Type())
+	now := nw.eng.Now()
+
+	var delay time.Duration
+	if now >= nw.cfg.TS {
+		// Stable: deliver within δ.
+		span := nw.cfg.Delta - nw.cfg.MinDelay
+		delay = nw.cfg.MinDelay + time.Duration(nw.eng.Rand().Int63n(int64(span)+1))
+	} else {
+		fate := nw.cfg.Policy.Fate(Transmission{From: from, To: to, Msg: m, SentAt: now, TS: nw.cfg.TS, Delta: nw.cfg.Delta}, nw.eng.Rand())
+		if fate.Drop {
+			nw.collector.MessageDropped(m.Type())
+			return
+		}
+		delay = fate.Delay
+		if delay < 0 {
+			delay = 0
+		}
+	}
+
+	nw.eng.After(delay, func() {
+		nw.nodes[to].deliver(from, m)
+	})
+}
+
+// RunUntilAllDecided runs the simulation until every currently-up process
+// has decided, or the horizon passes. It reports whether all up processes
+// decided and returns any safety violation.
+func (nw *Network) RunUntilAllDecided(horizon time.Duration) (bool, error) {
+	ok := nw.eng.RunUntil(func() bool {
+		if nw.checker.Violation() != nil {
+			return true // stop immediately on violation
+		}
+		for _, n := range nw.nodes {
+			if n.up && !n.decided {
+				return false
+			}
+		}
+		return true
+	}, horizon)
+	if err := nw.checker.Violation(); err != nil {
+		return false, err
+	}
+	return ok, nil
+}

@@ -1,0 +1,209 @@
+// Package storage provides the stable-storage abstraction that lets a
+// process survive a crash/restart boundary, as the paper's model requires:
+// "The process keeps mbal[p] (and the rest of its state) in stable storage
+// so it can restart after failure by simply resuming where it left off."
+//
+// Two implementations are provided: an in-memory store used by the
+// deterministic simulator (values are gob round-tripped so the store holds
+// deep copies, exactly like real persistence), and a file-backed store used
+// by the live goroutine runtime.
+package storage
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Store is a small key-value stable store. Implementations must guarantee
+// that data written by Put survives a crash of the owning process (in the
+// simulator, that the data survives the process object being discarded).
+type Store interface {
+	// Put durably stores value (gob-encoded) under key.
+	Put(key string, value any) error
+	// Get decodes the value stored under key into out (a pointer). It
+	// reports whether the key was present.
+	Get(key string, out any) (bool, error)
+	// Delete removes a key; deleting an absent key is not an error.
+	Delete(key string) error
+	// Keys returns all present keys in sorted order.
+	Keys() ([]string, error)
+}
+
+// MemStore is an in-memory Store. Values are stored as encoded bytes, so a
+// Get never aliases memory written by Put — mutating a value after Put does
+// not change what a later Get returns, matching disk semantics.
+//
+// MemStore is safe for concurrent use. The zero value is ready to use.
+type MemStore struct {
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+var _ Store = (*MemStore)(nil)
+
+// Put implements Store.
+func (s *MemStore) Put(key string, value any) error {
+	buf, err := encode(value)
+	if err != nil {
+		return fmt.Errorf("storage: put %q: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		s.data = make(map[string][]byte)
+	}
+	s.data[key] = buf
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string, out any) (bool, error) {
+	s.mu.Lock()
+	buf, ok := s.data[key]
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := decode(buf, out); err != nil {
+		return false, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+	return nil
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// FileStore persists each key as a gob file in a directory, writing through
+// a temp file + rename so a torn write never corrupts a previous value.
+// FileStore is safe for concurrent use by one process.
+type FileStore struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// NewFileStore creates (if needed) and opens a directory-backed store.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+var _ Store = (*FileStore)(nil)
+
+func (s *FileStore) path(key string) string {
+	// Keys are protocol-chosen short identifiers; escape path separators
+	// defensively.
+	safe := make([]byte, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c == '/' || c == '\\' || c == 0 {
+			safe = append(safe, '_')
+		} else {
+			safe = append(safe, c)
+		}
+	}
+	return filepath.Join(s.dir, string(safe)+".gob")
+}
+
+// Put implements Store.
+func (s *FileStore) Put(key string, value any) error {
+	buf, err := encode(value)
+	if err != nil {
+		return fmt.Errorf("storage: put %q: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("storage: put %q: %w", key, err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		return fmt.Errorf("storage: put %q: %w", key, err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string, out any) (bool, error) {
+	s.mu.Lock()
+	buf, err := os.ReadFile(s.path(key))
+	s.mu.Unlock()
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	if err := decode(buf, out); err != nil {
+		return false, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(s.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: delete %q: %w", key, err)
+	}
+	return nil
+}
+
+// Keys implements Store.
+func (s *FileStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: keys: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) == ".gob" {
+			keys = append(keys, name[:len(name)-len(".gob")])
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+func encode(value any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(value); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(buf []byte, out any) error {
+	return gob.NewDecoder(bytes.NewReader(buf)).Decode(out)
+}

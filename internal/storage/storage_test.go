@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type fakeState struct {
+	Ballot  int
+	Value   string
+	Decided bool
+}
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+
+	// Absent key.
+	var st fakeState
+	ok, err := s.Get("state", &st)
+	if err != nil {
+		t.Fatalf("Get absent: %v", err)
+	}
+	if ok {
+		t.Fatal("Get reported presence for absent key")
+	}
+
+	// Round trip.
+	want := fakeState{Ballot: 42, Value: "v7", Decided: true}
+	if err := s.Put("state", want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	ok, err = s.Get("state", &st)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if st != want {
+		t.Fatalf("round trip mismatch: got %+v want %+v", st, want)
+	}
+
+	// Overwrite.
+	want.Ballot = 43
+	if err := s.Put("state", want); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	if _, err := s.Get("state", &st); err != nil {
+		t.Fatalf("Get after overwrite: %v", err)
+	}
+	if st.Ballot != 43 {
+		t.Fatalf("overwrite not visible: %+v", st)
+	}
+
+	// Keys.
+	if err := s.Put("aux", 7); err != nil {
+		t.Fatalf("Put aux: %v", err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	if len(keys) != 2 || keys[0] != "aux" || keys[1] != "state" {
+		t.Fatalf("Keys = %v, want [aux state]", keys)
+	}
+
+	// Delete.
+	if err := s.Delete("aux"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete("aux"); err != nil {
+		t.Fatalf("Delete absent should be nil: %v", err)
+	}
+	ok, err = s.Get("aux", new(int))
+	if err != nil {
+		t.Fatalf("Get deleted: %v", err)
+	}
+	if ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMemStore()) }
+func TestFileStore(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, s)
+}
+
+// TestMemStoreDeepCopies checks the crash-semantics property: mutating a
+// value after Put must not change what a later Get observes.
+func TestMemStoreDeepCopies(t *testing.T) {
+	s := NewMemStore()
+	v := []int{1, 2, 3}
+	if err := s.Put("slice", v); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 99
+	var got []int
+	if _, err := s.Get("slice", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatalf("Put aliased caller memory: got %v", got)
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("mbal", 17); err != nil {
+		t.Fatal(err)
+	}
+	// "Restart": a brand-new handle over the same directory.
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	ok, err := s2.Get("mbal", &got)
+	if err != nil || !ok || got != 17 {
+		t.Fatalf("reopen Get = (%d, %v, %v), want (17, true, nil)", got, ok, err)
+	}
+}
+
+func TestFileStoreKeyEscaping(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a/b", 1); err != nil {
+		t.Fatalf("Put with separator: %v", err)
+	}
+	var got int
+	ok, err := s.Get("a/b", &got)
+	if err != nil || !ok || got != 1 {
+		t.Fatalf("Get escaped key = (%d, %v, %v)", got, ok, err)
+	}
+}
+
+// Property: any string value round-trips through either store.
+func TestQuickRoundTrip(t *testing.T) {
+	mem := NewMemStore()
+	f := func(key, value string) bool {
+		if key == "" {
+			key = "k"
+		}
+		if err := mem.Put(key, value); err != nil {
+			return false
+		}
+		var got string
+		ok, err := mem.Get(key, &got)
+		return ok && err == nil && got == value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

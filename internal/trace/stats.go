@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds order statistics over a set of duration samples; the
+// experiment tables report these.
+type Summary struct {
+	Count  int
+	Min    time.Duration
+	Max    time.Duration
+	Mean   time.Duration
+	Median time.Duration
+	P95    time.Duration
+	Stddev time.Duration
+}
+
+// Summarize computes a Summary of the samples. An empty input yields a zero
+// Summary.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum float64
+	for _, s := range sorted {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(sorted))
+
+	var sq float64
+	for _, s := range sorted {
+		d := float64(s) - mean
+		sq += d * d
+	}
+	std := 0.0
+	if len(sorted) > 1 {
+		std = math.Sqrt(sq / float64(len(sorted)-1))
+	}
+
+	return Summary{
+		Count:  len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   time.Duration(mean),
+		Median: Percentile(sorted, 0.5),
+		P95:    Percentile(sorted, 0.95),
+		Stddev: time.Duration(std),
+	}
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 1) of sorted samples using
+// nearest-rank interpolation. The input must already be sorted.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// InDelta formats a duration as a multiple of δ, the unit the paper states
+// all its bounds in (for example "16.9δ").
+func InDelta(d, delta time.Duration) string {
+	if delta == 0 {
+		return d.String()
+	}
+	return fmt.Sprintf("%.1fδ", float64(d)/float64(delta))
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%v median=%v mean=%v p95=%v max=%v",
+		s.Count, s.Min, s.Median, s.Mean, s.P95, s.Max)
+}
+
+// StringInDelta renders the summary with every statistic expressed in units
+// of δ.
+func (s Summary) StringInDelta(delta time.Duration) string {
+	return fmt.Sprintf("n=%d min=%s median=%s mean=%s p95=%s max=%s",
+		s.Count, InDelta(s.Min, delta), InDelta(s.Median, delta),
+		InDelta(s.Mean, delta), InDelta(s.P95, delta), InDelta(s.Max, delta))
+}

@@ -1,0 +1,222 @@
+// Package trace collects events and metrics from a consensus run: message
+// counts by type, per-process decision times, and arbitrary named time
+// series (session numbers, round numbers) that the experiments plot.
+//
+// A single Collector is shared by all nodes of a run. It is safe for
+// concurrent use so the live goroutine runtime can share it; under the
+// single-threaded simulator the locking is uncontended.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one observation in a named time series.
+type Sample struct {
+	// At is the global time of the observation.
+	At time.Duration
+	// Proc is the observing process.
+	Proc int
+	// Value is the observed value (for example a session number).
+	Value int64
+}
+
+// Collector accumulates the events of one run. The zero value is ready to
+// use.
+type Collector struct {
+	mu sync.Mutex
+
+	sent      map[string]int // messages sent, by Message.Type
+	delivered map[string]int // messages delivered, by Message.Type
+	dropped   map[string]int // messages dropped (loss or dead recipient)
+	series    map[string][]Sample
+	logs      []string
+	logLimit  int
+	logging   bool
+}
+
+// NewCollector returns an empty collector with logging disabled.
+func NewCollector() *Collector { return &Collector{} }
+
+// EnableLogging turns on retention of Logf lines, keeping at most limit
+// lines (0 means unlimited).
+func (c *Collector) EnableLogging(limit int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logging = true
+	c.logLimit = limit
+}
+
+// MessageSent records that a message of the given type was handed to the
+// network.
+func (c *Collector) MessageSent(msgType string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sent == nil {
+		c.sent = make(map[string]int)
+	}
+	c.sent[msgType]++
+}
+
+// MessageDelivered records a successful delivery.
+func (c *Collector) MessageDelivered(msgType string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.delivered == nil {
+		c.delivered = make(map[string]int)
+	}
+	c.delivered[msgType]++
+}
+
+// MessageDropped records a message lost in transit or arriving at a crashed
+// process.
+func (c *Collector) MessageDropped(msgType string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dropped == nil {
+		c.dropped = make(map[string]int)
+	}
+	c.dropped[msgType]++
+}
+
+// Emit appends an observation to the named series.
+func (c *Collector) Emit(at time.Duration, proc int, kind string, value int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.series == nil {
+		c.series = make(map[string][]Sample)
+	}
+	c.series[kind] = append(c.series[kind], Sample{At: at, Proc: proc, Value: value})
+}
+
+// Logf records a formatted log line if logging is enabled.
+func (c *Collector) Logf(at time.Duration, proc int, format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.logging {
+		return
+	}
+	if c.logLimit > 0 && len(c.logs) >= c.logLimit {
+		return
+	}
+	c.logs = append(c.logs, fmt.Sprintf("%10v p%-2d %s", at, proc, fmt.Sprintf(format, args...)))
+}
+
+// Logs returns the retained log lines.
+func (c *Collector) Logs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.logs))
+	copy(out, c.logs)
+	return out
+}
+
+// TotalSent returns the total number of messages sent.
+func (c *Collector) TotalSent() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, n := range c.sent {
+		total += n
+	}
+	return total
+}
+
+// TotalDropped returns the total number of messages dropped.
+func (c *Collector) TotalDropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, n := range c.dropped {
+		total += n
+	}
+	return total
+}
+
+// SentByType returns a copy of the per-type send counts.
+func (c *Collector) SentByType() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.sent))
+	for k, v := range c.sent {
+		out[k] = v
+	}
+	return out
+}
+
+// SentBetween returns how many send events of series-agnostic messages
+// occurred; the network calls MessageSent once per Send, so rates over an
+// interval are computed by the caller from snapshots.
+func (c *Collector) SentBetween(before, after map[string]int) int {
+	total := 0
+	for k, v := range after {
+		total += v - before[k]
+	}
+	return total
+}
+
+// Series returns a copy of the named time series in emission order.
+func (c *Collector) Series(kind string) []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.series[kind]
+	out := make([]Sample, len(s))
+	copy(out, s)
+	return out
+}
+
+// SeriesNames returns the names of all emitted series, sorted.
+func (c *Collector) SeriesNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.series))
+	for k := range c.series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MaxSeriesValueAt returns the maximum value observed in the named series at
+// or before the given time, and whether any observation exists.
+func (c *Collector) MaxSeriesValueAt(kind string, at time.Duration) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best int64
+	found := false
+	for _, s := range c.series[kind] {
+		if s.At <= at && (!found || s.Value > best) {
+			best = s.Value
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MessageReport formats the send/deliver/drop counts as a small table.
+func (c *Collector) MessageReport() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	types := make(map[string]bool)
+	for k := range c.sent {
+		types[k] = true
+	}
+	for k := range c.dropped {
+		types[k] = true
+	}
+	names := make([]string, 0, len(types))
+	for k := range types {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %10s %8s\n", "type", "sent", "delivered", "dropped")
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-14s %8d %10d %8d\n", k, c.sent[k], c.delivered[k], c.dropped[k])
+	}
+	return b.String()
+}

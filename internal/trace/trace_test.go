@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMessageCounters(t *testing.T) {
+	c := NewCollector()
+	c.MessageSent("p1a")
+	c.MessageSent("p1a")
+	c.MessageSent("p2b")
+	c.MessageDelivered("p1a")
+	c.MessageDropped("p2b")
+
+	if got := c.TotalSent(); got != 3 {
+		t.Fatalf("TotalSent = %d, want 3", got)
+	}
+	if got := c.TotalDropped(); got != 1 {
+		t.Fatalf("TotalDropped = %d, want 1", got)
+	}
+	byType := c.SentByType()
+	if byType["p1a"] != 2 || byType["p2b"] != 1 {
+		t.Fatalf("SentByType = %v", byType)
+	}
+	report := c.MessageReport()
+	if !strings.Contains(report, "p1a") || !strings.Contains(report, "p2b") {
+		t.Fatalf("report missing types:\n%s", report)
+	}
+}
+
+func TestSentBetweenSnapshots(t *testing.T) {
+	c := NewCollector()
+	c.MessageSent("x")
+	before := c.SentByType()
+	c.MessageSent("x")
+	c.MessageSent("y")
+	after := c.SentByType()
+	if got := c.SentBetween(before, after); got != 2 {
+		t.Fatalf("SentBetween = %d, want 2", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	c := NewCollector()
+	c.Emit(10*time.Millisecond, 0, "session", 1)
+	c.Emit(20*time.Millisecond, 1, "session", 2)
+	c.Emit(30*time.Millisecond, 0, "session", 3)
+	c.Emit(5*time.Millisecond, 2, "round", 1)
+
+	s := c.Series("session")
+	if len(s) != 3 || s[1].Value != 2 || s[1].Proc != 1 {
+		t.Fatalf("Series = %+v", s)
+	}
+	names := c.SeriesNames()
+	if len(names) != 2 || names[0] != "round" || names[1] != "session" {
+		t.Fatalf("SeriesNames = %v", names)
+	}
+	if v, ok := c.MaxSeriesValueAt("session", 25*time.Millisecond); !ok || v != 2 {
+		t.Fatalf("MaxSeriesValueAt(25ms) = %d, %v; want 2, true", v, ok)
+	}
+	if v, ok := c.MaxSeriesValueAt("session", time.Hour); !ok || v != 3 {
+		t.Fatalf("MaxSeriesValueAt(1h) = %d, %v; want 3, true", v, ok)
+	}
+	if _, ok := c.MaxSeriesValueAt("nosuch", time.Hour); ok {
+		t.Fatal("MaxSeriesValueAt on missing series should report absence")
+	}
+	// Returned slice must be a copy.
+	s[0].Value = 999
+	if c.Series("session")[0].Value == 999 {
+		t.Fatal("Series aliased internal storage")
+	}
+}
+
+func TestLogging(t *testing.T) {
+	c := NewCollector()
+	c.Logf(time.Millisecond, 0, "dropped %d", 1) // disabled: discarded
+	if len(c.Logs()) != 0 {
+		t.Fatal("logging should be off by default")
+	}
+	c.EnableLogging(2)
+	c.Logf(time.Millisecond, 0, "a")
+	c.Logf(time.Millisecond, 1, "b")
+	c.Logf(time.Millisecond, 2, "c") // over limit: discarded
+	logs := c.Logs()
+	if len(logs) != 2 {
+		t.Fatalf("got %d log lines, want 2", len(logs))
+	}
+	if !strings.Contains(logs[0], "p0") || !strings.Contains(logs[0], "a") {
+		t.Fatalf("unexpected log line %q", logs[0])
+	}
+}
+
+func TestCollectorConcurrentUse(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.MessageSent("m")
+				c.Emit(time.Duration(j), p, "k", int64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.TotalSent(); got != 800 {
+		t.Fatalf("TotalSent = %d, want 800", got)
+	}
+	if got := len(c.Series("k")); got != 800 {
+		t.Fatalf("series len = %d, want 800", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{40, 10, 20, 30})
+	if s.Count != 4 || s.Min != 10 || s.Max != 40 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.Mean != 25 {
+		t.Fatalf("Mean = %v, want 25", s.Mean)
+	}
+	if s.Median != 25 {
+		t.Fatalf("Median = %v, want 25", s.Median)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Fatal("empty Summarize should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{10, 20, 30, 40, 50}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {-1, 10}, {2, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%.2f) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("Percentile of empty should be 0")
+	}
+}
+
+// Property: Min ≤ Median ≤ P95 ≤ Max and Min ≤ Mean ≤ Max for any sample set.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			samples[i] = time.Duration(r)
+		}
+		s := Summarize(samples)
+		return s.Min <= s.Median && s.Median <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInDelta(t *testing.T) {
+	if got := InDelta(170*time.Millisecond, 10*time.Millisecond); got != "17.0δ" {
+		t.Fatalf("InDelta = %q, want 17.0δ", got)
+	}
+	if got := InDelta(time.Second, 0); got != "1s" {
+		t.Fatalf("InDelta with zero delta = %q", got)
+	}
+}
+
+func TestSummaryStrings(t *testing.T) {
+	s := Summarize([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond})
+	if str := s.String(); !strings.Contains(str, "n=2") {
+		t.Fatalf("String = %q", str)
+	}
+	if str := s.StringInDelta(10 * time.Millisecond); !strings.Contains(str, "δ") {
+		t.Fatalf("StringInDelta = %q", str)
+	}
+}
