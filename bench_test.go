@@ -27,6 +27,8 @@ import (
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/scenario"
 )
 
 // benchParams shrinks seeds so a full -bench=. pass stays fast while
@@ -153,6 +155,50 @@ func BenchmarkSingleRunModifiedPaxos(b *testing.B) {
 		last = res.LatencyAfterTS
 	}
 	b.ReportMetric(float64(last)/float64(10*time.Millisecond), "latency_δ")
+}
+
+// benchScenario runs one canned scenario per iteration across all its
+// protocols and seeds — the unit of work of the scenario engine. It reports
+// the modpaxos median latency in δ so the perf trajectory tracks scenario
+// throughput and the paper's headline metric together.
+func benchScenario(b *testing.B, name string) {
+	b.Helper()
+	spec, ok := scenario.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown scenario %q", name)
+	}
+	spec.Seeds = 3
+	var rep *scenario.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed() {
+			b.Fatalf("scenario %s violations: %+v", name, rep.Violations)
+		}
+	}
+	for _, pr := range rep.Protocols {
+		if pr.Protocol == harness.ModifiedPaxos {
+			b.ReportMetric(float64(pr.Latency.Median)/float64(rep.Delta), "modpaxos_δ")
+		}
+	}
+	if b.N == 1 {
+		b.Logf("\n%s", rep.Text())
+	}
+}
+
+// BenchmarkScenarioBaselineSynchronous is the cheap end of the scenario
+// engine: a stable-from-start run of all four protocols.
+func BenchmarkScenarioBaselineSynchronous(b *testing.B) {
+	benchScenario(b, "baseline-synchronous")
+}
+
+// BenchmarkScenarioObsoleteBallotReplay is the adversarial end: the §2
+// attack with worst-case delivery against traditional and modified Paxos.
+func BenchmarkScenarioObsoleteBallotReplay(b *testing.B) {
+	benchScenario(b, "obsolete-ballot-replay")
 }
 
 func BenchmarkTable10EntryRuleAblation(b *testing.B) {

@@ -1,0 +1,228 @@
+// Command scenario lists, runs, and sweeps the canned adversarial scenarios
+// of the scenario engine (internal/scenario).
+//
+// Usage:
+//
+//	scenario list
+//	scenario run [-seeds N] [-n N] [-delta D] [-ts D] [-format text|json] <name>|all
+//	scenario sweep [-ns 5,9,17] [-seeds N] [-delta D] <name>|all
+//
+// `run` executes a scenario across its protocol set and seed matrix and
+// prints the report; it exits non-zero if any invariant was violated, so a
+// scenario run doubles as a CI gate. `sweep` re-runs a scenario across
+// cluster sizes and prints the median latency after TS per protocol — the
+// O(δ) vs O(Nδ) shape at a glance. Runs are deterministic in the flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: scenario <list|run|sweep> [flags] [name]")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(out)
+	case "run":
+		return cmdRun(args[1:], out)
+	case "sweep":
+		return cmdSweep(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want list, run, or sweep)", args[0])
+	}
+}
+
+func cmdList(out io.Writer) error {
+	for _, s := range scenario.Library() {
+		fmt.Fprintf(out, "%-26s %s\n", s.Name, s.Description)
+	}
+	return nil
+}
+
+// parseWithName parses a subcommand's flags around its single positional
+// name argument. Go's flag package stops at the first positional, so
+// `scenario run all -seeds 3` would otherwise silently ignore the flags;
+// a second Parse over the remainder accepts them on either side.
+func parseWithName(fs *flag.FlagSet, args []string, usage string) (string, error) {
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	if fs.NArg() == 0 {
+		return "", fmt.Errorf("usage: %s", usage)
+	}
+	name := fs.Arg(0)
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return "", err
+	}
+	if fs.NArg() != 0 {
+		return "", fmt.Errorf("unexpected arguments %v; usage: %s", fs.Args(), usage)
+	}
+	return name, nil
+}
+
+// resolve expands a name argument to specs: a canned name, or "all".
+func resolve(name string) ([]scenario.Spec, error) {
+	if name == "all" {
+		return scenario.Library(), nil
+	}
+	s, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (scenario list shows the library)", name)
+	}
+	return []scenario.Spec{s}, nil
+}
+
+func cmdRun(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
+	var (
+		seeds  = fs.Int("seeds", 0, "seeds per protocol (0 = scenario default)")
+		n      = fs.Int("n", 0, "cluster size (0 = scenario default)")
+		delta  = fs.Duration("delta", 0, "δ override (0 = scenario default)")
+		ts     = fs.Duration("ts", 0, "TS override (0 = scenario default)")
+		format = fs.String("format", "text", "output format: text or json")
+	)
+	name, err := parseWithName(fs, args, "scenario run [flags] <name>|all")
+	if err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	specs, err := resolve(name)
+	if err != nil {
+		return err
+	}
+	violated := 0
+	for _, spec := range specs {
+		if *seeds > 0 {
+			spec.Seeds = *seeds
+		}
+		if *n > 0 {
+			spec.N = *n
+		}
+		if *delta > 0 {
+			spec.Delta = *delta
+		}
+		if *ts > 0 {
+			spec.TS = *ts
+			// An explicit TS overrides a scenario's stable-from-start
+			// default, which would otherwise force TS back to zero.
+			spec.StableFromStart = false
+		}
+		rep, err := scenario.Run(spec)
+		if err != nil {
+			return err
+		}
+		violated += len(rep.Violations)
+		if *format == "json" {
+			s, err := rep.JSON()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, s)
+		} else {
+			fmt.Fprintln(out, rep.Text())
+		}
+	}
+	if violated > 0 {
+		return fmt.Errorf("%d invariant violation(s)", violated)
+	}
+	return nil
+}
+
+func cmdSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scenario sweep", flag.ContinueOnError)
+	var (
+		ns    = fs.String("ns", "5,9,17", "comma-separated cluster sizes")
+		seeds = fs.Int("seeds", 3, "seeds per protocol per size")
+		delta = fs.Duration("delta", 0, "δ override (0 = scenario default)")
+	)
+	name, err := parseWithName(fs, args, "scenario sweep [flags] <name>|all")
+	if err != nil {
+		return err
+	}
+	sizes, err := parseInts(*ns)
+	if err != nil {
+		return err
+	}
+	specs, err := resolve(name)
+	if err != nil {
+		return err
+	}
+	violated := 0
+	for _, spec := range specs {
+		spec.Seeds = *seeds
+		if *delta > 0 {
+			spec.Delta = *delta
+		}
+		fmt.Fprintf(out, "sweep %s — median latency after TS (in δ) vs N\n", spec.Name)
+		var header bool
+		for _, size := range sizes {
+			s := spec
+			s.N = size
+			rep, err := scenario.Run(s)
+			if err != nil {
+				return err
+			}
+			if !header {
+				fmt.Fprintf(out, "%-6s", "N")
+				for _, pr := range rep.Protocols {
+					fmt.Fprintf(out, "%-14s", pr.Protocol)
+				}
+				fmt.Fprintln(out)
+				header = true
+			}
+			fmt.Fprintf(out, "%-6d", size)
+			for _, pr := range rep.Protocols {
+				cell := trace.InDelta(pr.Latency.Median, rep.Delta)
+				if len(rep.Violations) > 0 {
+					cell += "!"
+				}
+				fmt.Fprintf(out, "%-14s", cell)
+			}
+			fmt.Fprintln(out)
+			violated += len(rep.Violations)
+		}
+		fmt.Fprintln(out)
+	}
+	if violated > 0 {
+		return fmt.Errorf("%d invariant violation(s) during sweep ('!' rows)", violated)
+	}
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad cluster size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no cluster sizes given")
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with output buffered in memory and returns it.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestListShowsLibrary(t *testing.T) {
+	out, err := capture(t, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(out), "\n") + 1
+	if lines < 10 {
+		t.Errorf("list shows %d scenarios, want ≥ 10:\n%s", lines, out)
+	}
+	for _, want := range []string{"split-brain-until-TS", "total-partition", "churn-storm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	out, err := capture(t, "run", "-seeds", "1", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "violations: none") {
+		t.Errorf("expected a clean report:\n%s", out)
+	}
+}
+
+func TestRunFlagsAfterName(t *testing.T) {
+	out, err := capture(t, "run", "baseline-synchronous", "-seeds", "1")
+	if err != nil {
+		t.Fatalf("flags after the name should parse: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "seeds=1") {
+		t.Errorf("trailing -seeds flag was ignored:\n%s", out)
+	}
+	if _, err := capture(t, "run", "baseline-synchronous", "stray"); err == nil {
+		t.Fatal("stray extra argument should fail")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, err := capture(t, "run", "-seeds", "1", "-format", "json", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"scenario": "baseline-synchronous"`) {
+		t.Errorf("expected JSON output:\n%s", out)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if _, err := capture(t, "run", "no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+}
+
+func TestBadSubcommand(t *testing.T) {
+	if _, err := capture(t, "frobnicate"); err == nil {
+		t.Fatal("unknown subcommand should fail")
+	}
+	if _, err := capture(t); err == nil {
+		t.Fatal("missing subcommand should fail")
+	}
+}
+
+func TestSweepSmallest(t *testing.T) {
+	out, err := capture(t, "sweep", "-ns", "3", "-seeds", "1", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "sweep baseline-synchronous") || !strings.Contains(out, "modpaxos") {
+		t.Errorf("unexpected sweep output:\n%s", out)
+	}
+}

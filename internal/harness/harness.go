@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/clock"
 	"repro/internal/core/bconsensus"
 	"repro/internal/core/consensus"
 	"repro/internal/core/modpaxos"
@@ -95,6 +96,13 @@ type Config struct {
 	Prepared bool
 	// Restarts schedules crash/restart pairs.
 	Restarts []Restart
+	// Drift optionally supplies an explicit clock per process (a scenario
+	// clock profile); nil spreads rates across [1−ρ, 1+ρ] as before.
+	Drift func(id consensus.ProcessID) clock.Drift
+	// PreStart hooks run after the adversary is installed but before any
+	// process starts. The scenario engine uses them to install fault
+	// schedules (assassins, churn) that need direct network access.
+	PreStart []func(*simnet.Network)
 	// Debug retains per-event logs in the collector.
 	Debug bool
 }
@@ -191,7 +199,8 @@ func Run(cfg Config) (Result, error) {
 	}
 	nw, err := simnet.New(eng, simnet.Config{
 		N: cfg.N, Delta: cfg.Delta, TS: cfg.TS, MinDelay: minDelay,
-		Policy: cfg.Policy, Rho: cfg.Rho, Collector: collector, Debug: cfg.Debug,
+		Policy: cfg.Policy, Rho: cfg.Rho, Drift: cfg.Drift,
+		Collector: collector, Debug: cfg.Debug,
 	}, factory, DefaultProposals(cfg.N))
 	if err != nil {
 		return Result{}, err
@@ -206,6 +215,10 @@ func Run(cfg Config) (Result, error) {
 		leader.Install(nw, leader.Config{Stable: stableLeader(cfg, down)})
 	}
 
+	for _, hook := range cfg.PreStart {
+		hook(nw)
+	}
+
 	nw.StartExcept(down...)
 	for _, r := range cfg.Restarts {
 		nw.CrashAt(r.Proc, r.CrashAt)
@@ -218,19 +231,25 @@ func Run(cfg Config) (Result, error) {
 
 	// A restart scheduled after the surviving processes decided still has
 	// to be simulated: keep running until every restarted process has
-	// decided too (decision gossip brings it up to date).
+	// decided too (decision gossip brings it up to date). This covers
+	// restarts scheduled by PreStart hooks (which the harness cannot
+	// enumerate) as well as cfg.Restarts.
 	if violation == nil {
-		for _, r := range cfg.Restarts {
-			if r.RestartAt == 0 {
-				continue
+		ok := nw.Engine().RunUntil(func() bool {
+			if nw.Checker().Violation() != nil {
+				return true
 			}
-			proc := r.Proc
-			ok := nw.Engine().RunUntil(func() bool {
-				_, d := nw.Node(proc).Decided()
-				return d
-			}, cfg.Horizon)
-			decided = decided && ok
-		}
+			if nw.RestartsPending() > 0 {
+				return false
+			}
+			for _, id := range nw.UpIDs() {
+				if _, d := nw.Node(id).Decided(); !d {
+					return false
+				}
+			}
+			return true
+		}, cfg.Horizon)
+		decided = decided && ok
 		violation = nw.Checker().Violation()
 	}
 
@@ -253,12 +272,11 @@ func Run(cfg Config) (Result, error) {
 			res.LatencyAfterTS = last
 		}
 	}
-	for _, r := range cfg.Restarts {
-		if r.RestartAt == 0 {
-			continue
-		}
-		if at, ok := nw.Node(r.Proc).DecidedAtGlobal(); ok && at >= r.RestartAt {
-			res.RestartRecovery[r.Proc] = at - r.RestartAt
+	// Recovery is read from the nodes, not cfg.Restarts, so restarts
+	// scheduled dynamically (PreStart fault schedules) are measured too.
+	for _, id := range nw.AllIDs() {
+		if rec, ok := nw.Node(id).RestartRecovery(); ok {
+			res.RestartRecovery[id] = rec
 		}
 	}
 	return res, nil

@@ -96,6 +96,12 @@ func TestBConsensusLive(t *testing.T) {
 }
 
 func TestLiveCrashRestartRecovers(t *testing.T) {
+	if testing.Short() {
+		// The crash phase deliberately lets WaitAllDecided run out its
+		// full 10s timeout; keep that out of the fast loop (CI runs the
+		// suite without -short).
+		t.Skip("skipping ~10s crash/restart wall-clock test in -short mode")
+	}
 	c, err := NewCluster(Config{N: 5, Delta: delta},
 		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(5))
 	if err != nil {
@@ -130,6 +136,9 @@ func TestLiveCrashRestartRecovers(t *testing.T) {
 }
 
 func TestLiveTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping real-TCP cluster test in -short mode")
+	}
 	RegisterMessages()
 	ids := []consensus.ProcessID{0, 1, 2}
 	transport, err := NewTCPTransport(ids)

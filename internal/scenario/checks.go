@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+	"repro/internal/harness"
+)
+
+// RunResult is one executed (protocol, seed) cell handed to checks.
+type RunResult struct {
+	Protocol harness.Protocol
+	Seed     int64
+	Cfg      harness.Config
+	Res      harness.Result
+}
+
+// LatencyAfterTS is the run's decision latency after stabilization, clamped
+// at zero for runs that decided before TS (the paper's "decide by TS+bound"
+// is then trivially met).
+func (r RunResult) LatencyAfterTS() time.Duration {
+	lat := r.Res.LastDecision - r.Cfg.TS
+	if lat < 0 {
+		return 0
+	}
+	return lat
+}
+
+// Check is one invariant evaluated against a run. A check that does not
+// apply to the run's protocol returns nil.
+type Check interface {
+	// Name identifies the check in reports.
+	Name() string
+	// Check returns a non-nil error describing the violation, if any.
+	Check(r RunResult) error
+}
+
+// DefaultChecks returns the invariants every scenario gets unless it
+// overrides them: termination, agreement, validity.
+func DefaultChecks() []Check {
+	return []Check{Termination{}, Agreement{}, Validity{}}
+}
+
+// Termination requires every process that was up at the end to have decided
+// within the horizon.
+type Termination struct{}
+
+// Name implements Check.
+func (Termination) Name() string { return "termination" }
+
+// Check implements Check.
+func (Termination) Check(r RunResult) error {
+	if r.Res.Violation != nil {
+		return nil // counted by Agreement; don't double-report
+	}
+	if !r.Res.Decided {
+		return fmt.Errorf("not all up processes decided within the horizon")
+	}
+	return nil
+}
+
+// Agreement requires that no safety violation (two processes deciding
+// differently, or one process re-deciding a different value) was detected.
+type Agreement struct{}
+
+// Name implements Check.
+func (Agreement) Name() string { return "agreement" }
+
+// Check implements Check.
+func (Agreement) Check(r RunResult) error { return r.Res.Violation }
+
+// Validity requires the decided value to be one of the proposals.
+type Validity struct{}
+
+// Name implements Check.
+func (Validity) Name() string { return "validity" }
+
+// Check implements Check.
+func (Validity) Check(r RunResult) error {
+	if r.Res.Value == "" {
+		return nil // nothing decided; Termination reports that
+	}
+	for _, v := range harness.DefaultProposals(r.Cfg.N) {
+		if r.Res.Value == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("decided value %q was never proposed", r.Res.Value)
+}
+
+// LatencyBound checks the paper's headline claim: modified Paxos decides by
+// TS + ε + 3τ + 5δ. It applies only to modpaxos runs (the bound is §4's);
+// scenarios whose fault schedule violates the bound's premises (failures
+// after TS) must not include it.
+type LatencyBound struct{}
+
+// Name implements Check.
+func (LatencyBound) Name() string { return "latency-bound" }
+
+// Check implements Check.
+func (LatencyBound) Check(r RunResult) error {
+	if r.Protocol != harness.ModifiedPaxos || !r.Res.Decided {
+		return nil
+	}
+	bound, err := modpaxos.DecisionBound(modpaxos.Config{
+		Delta: r.Cfg.Delta, Sigma: r.Cfg.Sigma, Eps: r.Cfg.Eps, Rho: r.Cfg.Rho,
+	})
+	if err != nil {
+		return err
+	}
+	if lat := r.LatencyAfterTS(); lat > bound {
+		return fmt.Errorf("latency after TS %v exceeds the ε+3τ+5δ bound %v", lat, bound)
+	}
+	return nil
+}
+
+// RecoveryBound checks the §4 restart claim on modpaxos runs: every process
+// that restarts after TS decides within MaxDeltas·δ of its restart.
+type RecoveryBound struct {
+	// MaxDeltas is the allowed recovery time in units of δ.
+	MaxDeltas float64
+}
+
+// Name implements Check.
+func (RecoveryBound) Name() string { return "recovery-bound" }
+
+// Check implements Check.
+func (c RecoveryBound) Check(r RunResult) error {
+	if r.Protocol != harness.ModifiedPaxos {
+		return nil
+	}
+	limit := time.Duration(c.MaxDeltas * float64(r.Cfg.Delta))
+	for proc, rec := range r.Res.RestartRecovery {
+		if rec > limit {
+			return fmt.Errorf("process %d took %v to recover after restart, limit %v", proc, rec, limit)
+		}
+	}
+	return nil
+}
+
+// MessageBudget caps the total number of messages a run may send — a
+// regression tripwire for message complexity, not a tight bound.
+type MessageBudget struct {
+	// MaxTotal is the cap on messages handed to the network.
+	MaxTotal int
+}
+
+// Name implements Check.
+func (MessageBudget) Name() string { return "message-budget" }
+
+// Check implements Check.
+func (c MessageBudget) Check(r RunResult) error {
+	if r.Res.Messages > c.MaxTotal {
+		return fmt.Errorf("%d messages sent, budget %d", r.Res.Messages, c.MaxTotal)
+	}
+	return nil
+}
+
+// MinorityUp names the processes of the minority side of a SplitBrain
+// grouping — the convenience every split scenario needs.
+func MinorityUp(n int) []consensus.ProcessID {
+	var out []consensus.ProcessID
+	for i := (n + 1) / 2; i < n; i++ {
+		out = append(out, consensus.ProcessID(i))
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/harness"
+	"repro/internal/simnet"
+)
+
+// Library returns the canned scenarios in definition order — the named
+// regimes every protocol is expected to survive. Each is a plain Spec;
+// callers may copy one and tweak fields (the sweep subcommand does).
+func Library() []Spec {
+	return []Spec{
+		baselineSynchronous(),
+		totalPartition(),
+		splitBrainUntilTS(),
+		flakyMinority(),
+		lossBurstRecovery(),
+		slowCoordinator(),
+		driftHeavy(),
+		chaosMonkey(),
+		churnStorm(),
+		obsoleteBallotReplay(),
+		coordinatorAssassination(),
+		restartLatecomer(),
+	}
+}
+
+// Lookup finds a canned scenario by name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns the canned scenario names, sorted.
+func Names() []string {
+	lib := Library()
+	out := make([]string, len(lib))
+	for i, s := range lib {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checksWithBound is the default invariant set plus the §4 latency bound —
+// for scenarios whose fault schedule respects the bound's premises (no
+// failures after TS).
+func checksWithBound() []Check {
+	return append(DefaultChecks(), LatencyBound{})
+}
+
+func baselineSynchronous() Spec {
+	return Spec{
+		Name:            "baseline-synchronous",
+		Description:     "stable from time zero: the best case every other scenario degrades from",
+		StableFromStart: true,
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			return simnet.Synchronous{}
+		},
+		Checks: append(checksWithBound(), MessageBudget{MaxTotal: 20000}),
+	}
+}
+
+func totalPartition() Spec {
+	return Spec{
+		Name:        "total-partition",
+		Description: "every pre-TS message is lost — the Ω(δ) lower-bound regime",
+		// Net nil: the harness default (DropAll) is exactly this regime.
+		Checks: checksWithBound(),
+	}
+}
+
+func splitBrainUntilTS() Spec {
+	return Spec{
+		Name:        "split-brain-until-TS",
+		Description: "two-way partition healing exactly at TS; each side is internally synchronous",
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			return simnet.PartitionUntilTS{Group: simnet.SplitBrain(n)}
+		},
+		Checks: checksWithBound(),
+	}
+}
+
+func flakyMinority() Spec {
+	return Spec{
+		Name:        "flaky-minority",
+		Description: "the minority side loses 70% of its pre-TS traffic; the majority is healthy",
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			targets := make(map[consensus.ProcessID]bool)
+			for _, id := range MinorityUp(n) {
+				targets[id] = true
+			}
+			return simnet.LossBurst{DropProb: 0.7, Targets: targets}
+		},
+		Checks: checksWithBound(),
+	}
+}
+
+func lossBurstRecovery() Spec {
+	return Spec{
+		Name:        "loss-burst",
+		Description: "healthy pre-TS network with a total black-out for the last TS/2 before stabilization",
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			return simnet.LossBurst{From: ts / 2, To: ts}
+		},
+		Checks: checksWithBound(),
+	}
+}
+
+func slowCoordinator() Spec {
+	return Spec{
+		Name:        "slow-coordinator",
+		Description: "process 0 (the eventual leader / round-0 coordinator) has a 3δ pre-TS link",
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			return simnet.TargetedDelay{
+				Targets: map[consensus.ProcessID]bool{0: true},
+				Delay:   3 * delta,
+			}
+		},
+		Checks: checksWithBound(),
+	}
+}
+
+func driftHeavy() Spec {
+	return Spec{
+		Name:        "drift-heavy",
+		Description: "clocks pinned at the edges of the ρ=10% band with multi-δ offsets, total partition until TS",
+		Clocks: ClockProfile{
+			Rho:          0.10,
+			Extremes:     true,
+			OffsetDeltas: []float64{0, 7, -3, 11, -8},
+		},
+		Checks: checksWithBound(),
+	}
+}
+
+func chaosMonkey() Spec {
+	return Spec{
+		Name:        "chaos-monkey",
+		Description: "every pre-TS message dropped with p=0.5 or delayed up to 2·TS (obsolete-message soup)",
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			return simnet.Chaos{DropProb: 0.5}
+		},
+		Checks: checksWithBound(),
+	}
+}
+
+func churnStorm() Spec {
+	return Spec{
+		Name:        "churn-storm",
+		Description: "staggered crash/restart churn after TS (a majority stays up throughout)",
+		Faults: []Fault{
+			CrashRestart{Proc: 3, Crash: AfterTS(1), Restart: AfterTS(5)},
+			CrashRestart{Proc: 4, Crash: AfterTS(3), Restart: AfterTS(8)},
+			CrashRestart{Proc: 1, Crash: AfterTS(6), Restart: AfterTS(10)},
+		},
+		// Post-TS failures void the ε+3τ+5δ premise; safety must still hold.
+		Checks: DefaultChecks(),
+	}
+}
+
+func obsoleteBallotReplay() Spec {
+	return Spec{
+		Name:        "obsolete-ballot-replay",
+		Description: "adaptive release of obsolete high ballots (§2 attack) vs the session cap (§4)",
+		Protocols:   []harness.Protocol{harness.TraditionalPaxos, harness.ModifiedPaxos},
+		Adversary:   AdversaryProfile{Attack: harness.ObsoleteBallots},
+		// Worst-case delivery makes the O(Nδ) shape sharpest.
+		WorstCaseDelays: true,
+		Checks:          checksWithBound(),
+	}
+}
+
+func coordinatorAssassination() Spec {
+	return Spec{
+		Name:        "coordinator-assassination",
+		Description: "the first post-TS round's coordinator (or leading session's owner) is killed as its round begins",
+		Protocols: []harness.Protocol{
+			harness.ModifiedPaxos, harness.RoundBased, harness.ModifiedBConsensus,
+		},
+		Faults: []Fault{
+			AssassinateOnSeries{Series: "round", AfterTS: true, Victim: VictimRoundOwner, RestartAfter: 6},
+			AssassinateOnSeries{Series: "session", AfterTS: true, Victim: VictimEmitter, RestartAfter: 6},
+		},
+		// The post-TS kill voids the ε+3τ+5δ premise, but the revived
+		// victim must still catch up in O(δ).
+		Checks: append(DefaultChecks(), RecoveryBound{MaxDeltas: 20}),
+	}
+}
+
+func restartLatecomer() Spec {
+	return Spec{
+		Name:        "restart-latecomer",
+		Description: "a process crashes before TS and returns 30δ after everyone decided; it must catch up in O(δ)",
+		Faults: []Fault{
+			CrashRestart{Proc: 4, Crash: Rel{FromTS: true, Deltas: -10}, Restart: AfterTS(30)},
+		},
+		Checks: append(DefaultChecks(), RecoveryBound{MaxDeltas: 20}),
+	}
+}

@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core/modpaxos"
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+// Violation is one failed check of one run.
+type Violation struct {
+	Protocol harness.Protocol `json:"protocol"`
+	Seed     int64            `json:"seed"`
+	Check    string           `json:"check"`
+	Detail   string           `json:"detail"`
+}
+
+// ProtocolReport aggregates one protocol's runs across the seed matrix.
+type ProtocolReport struct {
+	Protocol harness.Protocol `json:"protocol"`
+	Seeds    int              `json:"seeds"`
+	Decided  int              `json:"decided"`
+	// Latency summarizes decision latency after TS (clamped at 0) across
+	// seeds; LatencyDeltas is the same rendered in units of δ.
+	Latency       trace.Summary `json:"latency_ns"`
+	LatencyDeltas string        `json:"latency_in_delta"`
+	// Bound is the ε+3τ+5δ bound (modpaxos only, 0 otherwise).
+	Bound time.Duration `json:"bound_ns,omitempty"`
+	// Messages summarizes total sends per run; MessagesByType merges the
+	// per-type counts over all seeds.
+	Messages       trace.Summary  `json:"messages"`
+	MessagesByType map[string]int `json:"messages_by_type"`
+}
+
+// Report is the structured outcome of one scenario execution.
+type Report struct {
+	Scenario    string           `json:"scenario"`
+	Description string           `json:"description,omitempty"`
+	N           int              `json:"n"`
+	Delta       time.Duration    `json:"delta_ns"`
+	TS          time.Duration    `json:"ts_ns"`
+	Seeds       int              `json:"seeds"`
+	Protocols   []ProtocolReport `json:"protocols"`
+	Violations  []Violation      `json:"violations"`
+}
+
+// Passed reports whether every check passed on every run.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Run executes the scenario across its protocol set and seed matrix.
+// Violated invariants are recorded in the report, not returned as errors;
+// the error path is reserved for configurations that cannot run at all.
+func Run(spec Spec) (*Report, error) {
+	spec = spec.withDefaults()
+	rep := &Report{
+		Scenario:    spec.Name,
+		Description: spec.Description,
+		N:           spec.N,
+		Delta:       spec.Delta,
+		TS:          spec.TS,
+		Seeds:       spec.Seeds,
+	}
+	for _, p := range spec.Protocols {
+		pr := ProtocolReport{Protocol: p, Seeds: spec.Seeds}
+		var lats, msgs []time.Duration
+		for i := 0; i < spec.Seeds; i++ {
+			seed := spec.BaseSeed + int64(i)
+			cfg, err := spec.config(p, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := harness.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %s seed %d: %w", spec.Name, p, seed, err)
+			}
+			run := RunResult{Protocol: p, Seed: seed, Cfg: cfg, Res: res}
+			if res.Decided {
+				pr.Decided++
+				// Only decided runs contribute a latency: a timed-out
+				// run would clamp to 0 and drag the summary toward the
+				// best possible value exactly when the protocol failed.
+				lats = append(lats, run.LatencyAfterTS())
+			}
+			msgs = append(msgs, time.Duration(res.Messages))
+			pr.MessagesByType = trace.MergeCounts(pr.MessagesByType, res.MessagesByType)
+			for _, c := range spec.Checks {
+				if err := c.Check(run); err != nil {
+					rep.Violations = append(rep.Violations, Violation{
+						Protocol: p, Seed: seed, Check: c.Name(), Detail: err.Error(),
+					})
+				}
+			}
+		}
+		pr.Latency = trace.Summarize(lats)
+		pr.LatencyDeltas = pr.Latency.StringInDelta(spec.Delta)
+		pr.Messages = trace.Summarize(msgs)
+		if p == harness.ModifiedPaxos {
+			if bound, err := modpaxos.DecisionBound(modpaxos.Config{
+				Delta: spec.Delta, Sigma: spec.Sigma, Eps: spec.Eps, Rho: spec.Clocks.Rho,
+			}); err == nil {
+				pr.Bound = bound
+			}
+		}
+		rep.Protocols = append(rep.Protocols, pr)
+	}
+	return rep, nil
+}
+
+// Text renders the report as an aligned table for terminals.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s — %s\n", r.Scenario, r.Description)
+	fmt.Fprintf(&b, "params: N=%d δ=%v TS=%v seeds=%d\n\n", r.N, r.Delta, r.TS, r.Seeds)
+	fmt.Fprintf(&b, "%-12s %-8s %-12s %-12s %-10s %-10s\n",
+		"protocol", "decided", "latency p50", "latency max", "bound", "msgs p50")
+	for _, pr := range r.Protocols {
+		bound := "-"
+		if pr.Bound > 0 {
+			bound = trace.InDelta(pr.Bound, r.Delta)
+		}
+		fmt.Fprintf(&b, "%-12s %-8s %-12s %-12s %-10s %-10d\n",
+			pr.Protocol,
+			fmt.Sprintf("%d/%d", pr.Decided, pr.Seeds),
+			trace.InDelta(pr.Latency.Median, r.Delta),
+			trace.InDelta(pr.Latency.Max, r.Delta),
+			bound,
+			int64(pr.Messages.Median),
+		)
+	}
+	b.WriteString("\n")
+	if len(r.Violations) == 0 {
+		b.WriteString("violations: none\n")
+	} else {
+		fmt.Fprintf(&b, "violations: %d\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  %-12s seed=%-6d %-16s %s\n", v.Protocol, v.Seed, v.Check, v.Detail)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() (string, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}

@@ -1,0 +1,324 @@
+// Package scenario is the declarative scenario engine: an adversarial
+// schedule (network policy, fault schedule, clock profile, message-level
+// adversary) plus the invariants it must not break, expressed as one value —
+// a Spec — and executed across protocols and seeds by the Runner.
+//
+// The paper's headline claim (consensus by TS + O(δ) under *any*
+// pre-stabilization adversary) is only as credible as the diversity of
+// adversaries thrown at it. The building blocks all exist elsewhere in this
+// repository (simnet policies, adversary injections, crash/restart, clock
+// drift); this package makes them composable and enumerable so regimes can
+// be swept systematically instead of hand-wired per experiment. The canned
+// library (library.go) ships the named scenarios; `cmd/scenario` is the CLI.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core/consensus"
+	"repro/internal/harness"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Rel is a virtual time expressed relative to the run's parameters, so a
+// scenario stays meaningful when δ or TS are swept: the resolved time is
+// TS·[FromTS] + Deltas·δ. Deltas may be negative with FromTS to name a
+// pre-stabilization instant.
+type Rel struct {
+	// FromTS anchors the time at the stabilization time instead of 0.
+	FromTS bool
+	// Deltas is the offset from the anchor, in units of δ.
+	Deltas float64
+}
+
+// AfterTS returns the time TS + k·δ.
+func AfterTS(k float64) Rel { return Rel{FromTS: true, Deltas: k} }
+
+// AtDeltas returns the absolute time k·δ.
+func AtDeltas(k float64) Rel { return Rel{Deltas: k} }
+
+// Resolve converts the relative time to an absolute virtual time.
+func (r Rel) Resolve(delta, ts time.Duration) time.Duration {
+	at := time.Duration(r.Deltas * float64(delta))
+	if r.FromTS {
+		at += ts
+	}
+	return at
+}
+
+// IsZero reports whether the Rel is the zero value (used for "never").
+func (r Rel) IsZero() bool { return !r.FromTS && r.Deltas == 0 }
+
+// NetProfile builds the pre-stabilization network policy for a given
+// cluster size and timing; nil keeps the harness default (DropAll when
+// TS > 0). Taking the parameters as inputs lets one profile scale across a
+// sweep.
+type NetProfile func(n int, delta, ts time.Duration) simnet.Policy
+
+// ClockProfile describes the cluster's local clocks. The zero value means
+// perfect clocks; a bare Rho spreads rates deterministically across
+// [1−ρ, 1+ρ] (the simnet default).
+type ClockProfile struct {
+	// Rho is the clock-rate error bound.
+	Rho float64
+	// Extremes pins every clock to an edge of the band: even processes run
+	// at 1−ρ, odd ones at 1+ρ — the worst mutual drift the model allows.
+	Extremes bool
+	// OffsetDeltas gives per-process initial clock offsets in units of δ
+	// (cycled when shorter than N). The paper never assumes synchronized
+	// clocks, so correct protocols must shrug these off.
+	OffsetDeltas []float64
+}
+
+// drift returns the explicit per-process clock function, or nil to use the
+// simnet default spread.
+func (c ClockProfile) drift(n int, delta time.Duration) func(consensus.ProcessID) clock.Drift {
+	if !c.Extremes && len(c.OffsetDeltas) == 0 {
+		return nil
+	}
+	return func(id consensus.ProcessID) clock.Drift {
+		d := clock.Perfect()
+		switch {
+		case c.Extremes:
+			if id%2 == 0 {
+				d = clock.WithRate(1 - c.Rho)
+			} else {
+				d = clock.WithRate(1 + c.Rho)
+			}
+		case c.Rho > 0 && n > 1:
+			// Mirror the simnet default spread so declaring offsets does
+			// not silently weaken the rate adversary the Rho promises.
+			frac := float64(id) / float64(n-1)
+			d = clock.WithRate(1 - c.Rho + 2*c.Rho*frac)
+		}
+		if len(c.OffsetDeltas) > 0 {
+			d.Offset = time.Duration(c.OffsetDeltas[int(id)%len(c.OffsetDeltas)] * float64(delta))
+		}
+		return d
+	}
+}
+
+// AdversaryProfile selects a message-level adversary from the harness
+// repertoire.
+type AdversaryProfile struct {
+	// Attack is the harness attack kind (none, obsolete, deadcoords).
+	Attack harness.AttackKind
+	// K is the attack strength; 0 with a non-empty Attack means "scale
+	// with N": ⌈N/2⌉−1, the paper's maximum.
+	K int
+}
+
+func (a AdversaryProfile) strength(n int) int {
+	if a.K > 0 {
+		return a.K
+	}
+	return consensus.Majority(n) - 1
+}
+
+// Fault is one entry of a scenario's fault schedule. Faults contribute to
+// the harness configuration of each run — either statically (scheduled
+// crash/restart pairs) or via pre-start hooks that react to protocol
+// progress on the live network.
+type Fault interface {
+	// contribute applies the fault to one run's configuration.
+	contribute(cfg *harness.Config) error
+}
+
+// CrashRestart crashes a process at a chosen time and optionally restarts
+// it later. A zero Restart means the process never comes back (it must then
+// leave a majority standing, or the scenario cannot terminate).
+type CrashRestart struct {
+	Proc    int
+	Crash   Rel
+	Restart Rel
+}
+
+// contribute implements Fault.
+func (f CrashRestart) contribute(cfg *harness.Config) error {
+	if f.Proc < 0 || f.Proc >= cfg.N {
+		return fmt.Errorf("scenario: crash/restart of process %d in a cluster of %d", f.Proc, cfg.N)
+	}
+	r := harness.Restart{
+		Proc:    consensus.ProcessID(f.Proc),
+		CrashAt: f.Crash.Resolve(cfg.Delta, cfg.TS),
+	}
+	if r.CrashAt < 0 {
+		// A TS-relative time can resolve before zero under small δ/TS
+		// overrides; the simulator panics on past scheduling, so reject
+		// it at configuration time.
+		return fmt.Errorf("scenario: crash of process %d resolves to %v (before time 0) with δ=%v TS=%v",
+			f.Proc, r.CrashAt, cfg.Delta, cfg.TS)
+	}
+	if !f.Restart.IsZero() {
+		r.RestartAt = f.Restart.Resolve(cfg.Delta, cfg.TS)
+		if r.RestartAt < r.CrashAt {
+			return fmt.Errorf("scenario: process %d restarts at %v before its crash at %v",
+				f.Proc, r.RestartAt, r.CrashAt)
+		}
+	}
+	cfg.Restarts = append(cfg.Restarts, r)
+	return nil
+}
+
+// Victim selectors for AssassinateOnSeries.
+const (
+	// VictimEmitter kills the process that emitted the triggering sample —
+	// the process furthest ahead in the protocol.
+	VictimEmitter = -1
+	// VictimRoundOwner kills process (value mod N) — the rotating-
+	// coordinator convention, so triggering on round r kills round r's
+	// coordinator at the exact moment its round begins.
+	VictimRoundOwner = -2
+)
+
+// AssassinateOnSeries is the adaptive fault: it watches a trace series
+// ("round", "session", …) and crashes a victim the first time the series
+// reaches MinValue — coordinator assassination at a chosen round, without
+// protocol-specific wiring. Protocols that never emit the series are
+// unaffected, so one scenario can carry one assassin per series.
+type AssassinateOnSeries struct {
+	// Series is the trace series to watch.
+	Series string
+	// MinValue triggers on the first sample with Value ≥ MinValue.
+	MinValue int64
+	// AfterTS restricts the trigger to post-stabilization samples (the
+	// regime the paper's bound excludes failures from — deliberately
+	// violated here).
+	AfterTS bool
+	// Victim is a process index, or VictimEmitter / VictimRoundOwner.
+	Victim int
+	// RestartAfter revives the victim this many δ after the kill; 0 means
+	// never.
+	RestartAfter float64
+}
+
+// contribute implements Fault.
+func (f AssassinateOnSeries) contribute(cfg *harness.Config) error {
+	if f.Victim >= cfg.N || f.Victim < VictimRoundOwner {
+		return fmt.Errorf("scenario: assassination victim %d in a cluster of %d", f.Victim, cfg.N)
+	}
+	delta, ts := cfg.Delta, cfg.TS
+	cfg.PreStart = append(cfg.PreStart, func(nw *simnet.Network) {
+		fired := false
+		nw.Collector().OnEmit(func(kind string, s trace.Sample) {
+			if fired || kind != f.Series || s.Value < f.MinValue {
+				return
+			}
+			if f.AfterTS && s.At < ts {
+				return
+			}
+			victim := f.Victim
+			switch f.Victim {
+			case VictimEmitter:
+				victim = s.Proc
+			case VictimRoundOwner:
+				victim = int(s.Value) % nw.Config().N
+			}
+			fired = true
+			now := nw.Engine().Now()
+			nw.CrashAt(consensus.ProcessID(victim), now)
+			if f.RestartAfter > 0 {
+				nw.RestartAt(consensus.ProcessID(victim), now+time.Duration(f.RestartAfter*float64(delta)))
+			}
+		})
+	})
+	return nil
+}
+
+// Spec is one declarative scenario: the regime to run and the invariants it
+// must satisfy. The zero value of every field has a sensible default (see
+// withDefaults), so a Spec reads as a delta against the standard experiment
+// setup (N=5, δ=10ms, TS=200ms, all four protocols, safety checks on).
+type Spec struct {
+	// Name identifies the scenario (CLI: `scenario run <name>`).
+	Name string
+	// Description is one line of intent shown by `scenario list`.
+	Description string
+	// Protocols to run; nil means all four.
+	Protocols []harness.Protocol
+	// N, Delta, TS, Sigma, Eps are the model parameters (defaults: 5,
+	// 10ms, 200ms, protocol defaults).
+	N     int
+	Delta time.Duration
+	TS    time.Duration
+	Sigma time.Duration
+	Eps   time.Duration
+	// StableFromStart sets TS = 0 (the network is synchronous from time
+	// zero), which a zero TS alone cannot express because it defaults.
+	StableFromStart bool
+	// Net is the pre-stabilization network profile (nil = DropAll).
+	Net NetProfile
+	// Faults is the fault schedule.
+	Faults []Fault
+	// Clocks is the clock profile.
+	Clocks ClockProfile
+	// Adversary is the message-level adversary.
+	Adversary AdversaryProfile
+	// WorstCaseDelays makes every post-TS delivery take exactly δ.
+	WorstCaseDelays bool
+	// Checks are the invariants evaluated on every run; nil means
+	// DefaultChecks (termination, agreement, validity).
+	Checks []Check
+	// Seeds is the number of independent runs per protocol (default 5);
+	// seed i uses BaseSeed+i (BaseSeed default 1000).
+	Seeds    int
+	BaseSeed int64
+	// Horizon bounds each run (harness default: 2 minutes virtual).
+	Horizon time.Duration
+}
+
+// withDefaults returns the spec with every zero field resolved.
+func (s Spec) withDefaults() Spec {
+	if s.N == 0 {
+		s.N = 5
+	}
+	if s.Delta == 0 {
+		s.Delta = 10 * time.Millisecond
+	}
+	if s.StableFromStart {
+		s.TS = 0
+	} else if s.TS == 0 {
+		s.TS = 200 * time.Millisecond
+	}
+	if len(s.Protocols) == 0 {
+		s.Protocols = harness.Protocols()
+	}
+	if len(s.Checks) == 0 {
+		s.Checks = DefaultChecks()
+	}
+	if s.Seeds == 0 {
+		s.Seeds = 5
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1000
+	}
+	return s
+}
+
+// config builds the harness configuration for one (protocol, seed) cell.
+func (s Spec) config(p harness.Protocol, seed int64) (harness.Config, error) {
+	cfg := harness.Config{
+		Protocol: p, N: s.N, Delta: s.Delta, TS: s.TS,
+		Sigma: s.Sigma, Eps: s.Eps,
+		Rho: s.Clocks.Rho, Drift: s.Clocks.drift(s.N, s.Delta),
+		WorstCaseDelays: s.WorstCaseDelays,
+		Seed:            seed,
+		Horizon:         s.Horizon,
+	}
+	if s.Net != nil {
+		cfg.Policy = s.Net(s.N, s.Delta, s.TS)
+	}
+	if s.Adversary.Attack != "" && s.Adversary.Attack != harness.NoAttack {
+		cfg.Attack = s.Adversary.Attack
+		cfg.AttackK = s.Adversary.strength(s.N)
+	}
+	for _, f := range s.Faults {
+		if err := f.contribute(&cfg); err != nil {
+			return harness.Config{}, err
+		}
+	}
+	return cfg, nil
+}

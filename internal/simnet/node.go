@@ -25,11 +25,13 @@ type Node struct {
 	store  *storage.MemStore
 	timers map[consensus.TimerID]*sim.Event
 
-	decided    bool
-	decision   consensus.Value
-	decidedAt  time.Duration // global time of first decision
-	startedAt  time.Duration // global time of most recent start/restart
-	crashCount int
+	decided     bool
+	decision    consensus.Value
+	decidedAt   time.Duration // global time of first decision
+	startedAt   time.Duration // global time of most recent start/restart
+	crashCount  int
+	restartedAt time.Duration // global time of most recent post-crash start
+	restarted   bool
 }
 
 func newNode(nw *Network, id consensus.ProcessID, factory consensus.Factory, proposal consensus.Value, drift clock.Drift) *Node {
@@ -51,6 +53,10 @@ func (n *Node) start() {
 	}
 	n.up = true
 	n.startedAt = n.nw.eng.Now()
+	if n.crashCount > 0 {
+		n.restartedAt = n.startedAt
+		n.restarted = true
+	}
 	n.proc = n.factory(n.id, n.nw.cfg.N, n.proposal)
 	n.proc.Init(n)
 }
@@ -178,6 +184,17 @@ func (n *Node) DecidedAtGlobal() (time.Duration, bool) { return n.decidedAt, n.d
 
 // StartedAtGlobal returns the global time of the most recent (re)start.
 func (n *Node) StartedAtGlobal() time.Duration { return n.startedAt }
+
+// RestartRecovery returns the gap between the node's most recent post-crash
+// restart and its decision. It reports false for nodes that never restarted
+// or whose decision predates the restart (they recovered instantly from
+// stable storage or had nothing to recover).
+func (n *Node) RestartRecovery() (time.Duration, bool) {
+	if !n.restarted || !n.decided || n.decidedAt < n.restartedAt {
+		return 0, false
+	}
+	return n.decidedAt - n.restartedAt, true
+}
 
 // CrashCount returns how many times the process has crashed.
 func (n *Node) CrashCount() int { return n.crashCount }

@@ -92,3 +92,135 @@ func (p Partition) Fate(tx Transmission, rng *rand.Rand) Fate {
 	}
 	return Synchronous{}.Fate(tx, rng)
 }
+
+// SplitBrain returns the group map of a two-way split: processes 0..⌈n/2⌉−1
+// in group 0 (the majority side for odd n), the rest in group 1.
+func SplitBrain(n int) map[consensus.ProcessID]int {
+	groups := make(map[consensus.ProcessID]int, n)
+	half := (n + 1) / 2
+	for i := 0; i < n; i++ {
+		g := 0
+		if i >= half {
+			g = 1
+		}
+		groups[consensus.ProcessID(i)] = g
+	}
+	return groups
+}
+
+// Chain composes policies. Each link rules on the message in order; the
+// first link that drops it wins and later links are not consulted (so they
+// draw no randomness for that message — composition order is observable).
+// When no link drops, the delay is the maximum over all links: each link
+// expresses a floor on how badly the network treats the message, and
+// composing adversities can only make delivery worse, never better.
+type Chain []Policy
+
+// Fate implements Policy.
+func (c Chain) Fate(tx Transmission, rng *rand.Rand) Fate {
+	var out Fate
+	for _, p := range c {
+		f := p.Fate(tx, rng)
+		if f.Drop {
+			return Fate{Drop: true}
+		}
+		if f.Delay > out.Delay {
+			out.Delay = f.Delay
+		}
+	}
+	return out
+}
+
+// PartitionUntilTS is a healing partition: messages crossing group
+// boundaries are dropped until HealAt, then flow normally (within δ) for the
+// remainder of the pre-TS period. With HealAt = 0 the partition heals
+// exactly at TS — the network is stable from the very first post-TS instant,
+// the paper's sharpest "total communication failure, then stability" regime.
+type PartitionUntilTS struct {
+	// Group maps each process to a partition index.
+	Group map[consensus.ProcessID]int
+	// HealAt is the global time the partition disappears; 0 means TS.
+	HealAt time.Duration
+}
+
+// Fate implements Policy.
+func (p PartitionUntilTS) Fate(tx Transmission, rng *rand.Rand) Fate {
+	healAt := p.HealAt
+	if healAt == 0 {
+		healAt = tx.TS
+	}
+	if tx.SentAt < healAt && p.Group[tx.From] != p.Group[tx.To] {
+		return Fate{Drop: true}
+	}
+	return Synchronous{}.Fate(tx, rng)
+}
+
+// LossBurst drops messages with probability DropProb during the window
+// [From, To) and defers to Base outside it. Bursts model transient storms
+// (a flapping switch, a GC pause on the path) inside an otherwise healthy
+// pre-TS network.
+type LossBurst struct {
+	// From and To bound the burst window in global time. A zero To means
+	// the burst lasts until TS.
+	From, To time.Duration
+	// DropProb is the loss probability inside the window; 0 means 1
+	// (a total black-out, the common case for a named burst).
+	DropProb float64
+	// Targets, when non-nil, restricts the burst to messages to or from a
+	// target (a flaky minority); nil means the burst hits everyone.
+	Targets map[consensus.ProcessID]bool
+	// Base rules outside the window (default Synchronous).
+	Base Policy
+}
+
+// Fate implements Policy.
+func (l LossBurst) Fate(tx Transmission, rng *rand.Rand) Fate {
+	to := l.To
+	if to == 0 {
+		to = tx.TS
+	}
+	hit := l.Targets == nil || l.Targets[tx.From] || l.Targets[tx.To]
+	if hit && tx.SentAt >= l.From && tx.SentAt < to {
+		p := l.DropProb
+		if p == 0 {
+			p = 1
+		}
+		if rng.Float64() < p {
+			return Fate{Drop: true}
+		}
+	}
+	base := l.Base
+	if base == nil {
+		base = Synchronous{}
+	}
+	return base.Fate(tx, rng)
+}
+
+// TargetedDelay singles out a set of processes: every message to or from a
+// target takes exactly Delay to arrive (which may exceed TS−SentAt, turning
+// the target's traffic into obsolete messages). Non-target traffic defers to
+// Base. This models a slow coordinator or a degraded link without any loss.
+type TargetedDelay struct {
+	// Targets are the slowed processes.
+	Targets map[consensus.ProcessID]bool
+	// Delay is the transit time of targeted messages (default 2δ).
+	Delay time.Duration
+	// Base rules non-targeted messages (default Synchronous).
+	Base Policy
+}
+
+// Fate implements Policy.
+func (t TargetedDelay) Fate(tx Transmission, rng *rand.Rand) Fate {
+	if t.Targets[tx.From] || t.Targets[tx.To] {
+		d := t.Delay
+		if d == 0 {
+			d = 2 * tx.Delta
+		}
+		return Fate{Delay: d}
+	}
+	base := t.Base
+	if base == nil {
+		base = Synchronous{}
+	}
+	return base.Fate(tx, rng)
+}

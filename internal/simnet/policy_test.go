@@ -1,0 +1,172 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+)
+
+const (
+	testDelta = 10 * time.Millisecond
+	testTS    = 200 * time.Millisecond
+)
+
+// tx builds a transmission from→to at sentAt with the test parameters.
+func tx(from, to consensus.ProcessID, sentAt time.Duration) Transmission {
+	return Transmission{
+		From: from, To: to, Msg: echoMsg{}, SentAt: sentAt,
+		TS: testTS, Delta: testDelta,
+	}
+}
+
+// fates runs the policy over a fixed message sequence with a fixed seed and
+// returns the resulting fates.
+func fates(p Policy, seed int64) []Fate {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fate, 0, 64)
+	for i := 0; i < 64; i++ {
+		from := consensus.ProcessID(i % 5)
+		to := consensus.ProcessID((i + 1 + i/5) % 5)
+		at := time.Duration(i) * testTS / 64
+		out = append(out, p.Fate(tx(from, to, at), rng))
+	}
+	return out
+}
+
+// TestCompositePoliciesDeterministic checks that every composite policy is a
+// pure function of (message sequence, seed): two runs with the same seed
+// agree fate-for-fate.
+func TestCompositePoliciesDeterministic(t *testing.T) {
+	groups := SplitBrain(5)
+	policies := map[string]Policy{
+		"chain": Chain{
+			LossBurst{From: testTS / 2, DropProb: 0.5},
+			TargetedDelay{Targets: map[consensus.ProcessID]bool{0: true}, Delay: 3 * testDelta},
+			Chaos{DropProb: 0.2},
+		},
+		"partition-until-ts": PartitionUntilTS{Group: groups},
+		"loss-burst":         LossBurst{From: testTS / 4, To: testTS / 2, DropProb: 0.7},
+		"targeted-delay":     TargetedDelay{Targets: map[consensus.ProcessID]bool{2: true}},
+	}
+	for name, p := range policies {
+		a := fates(p, 42)
+		b := fates(p, 42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: fate %d differs between identically-seeded runs: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestPartitionUntilTSHealsExactlyAtTS pins the heal edge: a cross-group
+// message sent one instant before TS is dropped; messages within a group
+// are always delivered; and once healed (HealAt < TS) cross-group traffic
+// flows within δ.
+func TestPartitionUntilTSHealsExactlyAtTS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	groups := SplitBrain(5) // {0,1,2} vs {3,4}
+	p := PartitionUntilTS{Group: groups}
+
+	// Cross-group, one nanosecond before TS: still partitioned.
+	if f := p.Fate(tx(0, 4, testTS-time.Nanosecond), rng); !f.Drop {
+		t.Errorf("cross-group message at TS−1ns should drop, got %+v", f)
+	}
+	// Same group: always flows, with a δ-bounded delay.
+	if f := p.Fate(tx(0, 2, testTS/2), rng); f.Drop || f.Delay > testDelta {
+		t.Errorf("intra-group message should deliver within δ, got %+v", f)
+	}
+	// The simulated network never consults the policy at or after TS, so
+	// healing "exactly at TS" means: there is no pre-TS instant at which
+	// cross-group traffic flows. With an explicit earlier HealAt there is.
+	healed := PartitionUntilTS{Group: groups, HealAt: testTS / 2}
+	if f := healed.Fate(tx(0, 4, testTS/2), rng); f.Drop || f.Delay > testDelta {
+		t.Errorf("cross-group message after HealAt should deliver within δ, got %+v", f)
+	}
+	if f := healed.Fate(tx(0, 4, testTS/2-time.Nanosecond), rng); !f.Drop {
+		t.Errorf("cross-group message before HealAt should drop, got %+v", f)
+	}
+}
+
+// TestChainCompositionOrder pins Chain's semantics: links are consulted in
+// order, the first Drop short-circuits (later links draw no randomness), and
+// surviving messages take the maximum delay over all links.
+func TestChainCompositionOrder(t *testing.T) {
+	slow := TargetedDelay{Targets: map[consensus.ProcessID]bool{0: true}, Delay: 5 * testDelta}
+
+	// Drop-first: the dropping link short-circuits, so the rng is
+	// untouched and stays aligned with a fresh source.
+	rngA := rand.New(rand.NewSource(7))
+	chain := Chain{DropAll{}, Chaos{DropProb: 0.5}}
+	for i := 0; i < 8; i++ {
+		if f := chain.Fate(tx(0, 1, testTS/2), rngA); !f.Drop {
+			t.Fatalf("Chain{DropAll, …} must drop, got %+v", f)
+		}
+	}
+	rngB := rand.New(rand.NewSource(7))
+	if got, want := rngA.Int63(), rngB.Int63(); got != want {
+		t.Errorf("short-circuited chain consumed randomness: %d vs %d", got, want)
+	}
+
+	// Drop-last: the same links in the other order consume Chaos's draws
+	// before dropping — composition order is observable through the rng.
+	rngC := rand.New(rand.NewSource(7))
+	reversed := Chain{Chaos{DropProb: 0.5}, DropAll{}}
+	for i := 0; i < 8; i++ {
+		if f := reversed.Fate(tx(0, 1, testTS/2), rngC); !f.Drop {
+			t.Fatalf("Chain{…, DropAll} must drop, got %+v", f)
+		}
+	}
+	rngD := rand.New(rand.NewSource(7))
+	if got, want := rngC.Int63(), rngD.Int63(); got == want {
+		t.Error("reversed chain should have consumed randomness before dropping")
+	}
+
+	// Max-delay merge: a targeted 5δ link dominates the synchronous base
+	// regardless of position.
+	for _, c := range []Chain{{slow, Synchronous{}}, {Synchronous{}, slow}} {
+		f := c.Fate(tx(0, 1, testTS/2), rand.New(rand.NewSource(3)))
+		if f.Drop || f.Delay != 5*testDelta {
+			t.Errorf("chain %v: want delay 5δ, got %+v", c, f)
+		}
+	}
+}
+
+// TestLossBurstWindowAndTargets pins the burst window edges and targeting.
+func TestLossBurstWindowAndTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	burst := LossBurst{From: testTS / 2, To: testTS * 3 / 4}
+	if f := burst.Fate(tx(0, 1, testTS/2), rng); !f.Drop {
+		t.Errorf("message at burst start should drop, got %+v", f)
+	}
+	if f := burst.Fate(tx(0, 1, testTS*3/4), rng); f.Drop {
+		t.Errorf("message at burst end should survive, got %+v", f)
+	}
+	if f := burst.Fate(tx(0, 1, 0), rng); f.Drop || f.Delay > testDelta {
+		t.Errorf("message before burst should deliver within δ, got %+v", f)
+	}
+
+	targeted := LossBurst{Targets: map[consensus.ProcessID]bool{4: true}}
+	if f := targeted.Fate(tx(4, 1, testTS/2), rng); !f.Drop {
+		t.Errorf("message from target should drop, got %+v", f)
+	}
+	if f := targeted.Fate(tx(1, 4, testTS/2), rng); !f.Drop {
+		t.Errorf("message to target should drop, got %+v", f)
+	}
+	if f := targeted.Fate(tx(0, 1, testTS/2), rng); f.Drop {
+		t.Errorf("untargeted message should survive, got %+v", f)
+	}
+}
+
+// TestSplitBrainGroups pins the grouping convention the library depends on:
+// the low half (majority for odd n) is group 0.
+func TestSplitBrainGroups(t *testing.T) {
+	g := SplitBrain(5)
+	for id, want := range map[consensus.ProcessID]int{0: 0, 1: 0, 2: 0, 3: 1, 4: 1} {
+		if g[id] != want {
+			t.Errorf("SplitBrain(5)[%d] = %d, want %d", id, g[id], want)
+		}
+	}
+}

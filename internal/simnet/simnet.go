@@ -78,6 +78,10 @@ type Network struct {
 	collector *trace.Collector
 	checker   *consensus.SafetyChecker
 	observers []DeliveryObserver
+
+	// pendingRestarts counts scheduled-but-not-yet-executed restarts, so
+	// run loops can refuse to stop while a process is still due back.
+	pendingRestarts int
 }
 
 // DeliveryObserver is notified after every successful message delivery.
@@ -180,8 +184,16 @@ func (nw *Network) CrashAt(id consensus.ProcessID, at time.Duration) {
 
 // RestartAt schedules a restart of process id at virtual time at.
 func (nw *Network) RestartAt(id consensus.ProcessID, at time.Duration) {
-	nw.eng.Schedule(at, func() { nw.nodes[id].start() })
+	nw.pendingRestarts++
+	nw.eng.Schedule(at, func() {
+		nw.pendingRestarts--
+		nw.nodes[id].start()
+	})
 }
+
+// RestartsPending returns the number of scheduled restarts that have not
+// executed yet.
+func (nw *Network) RestartsPending() int { return nw.pendingRestarts }
 
 // Inject schedules delivery of a message to a process at an absolute virtual
 // time, bypassing the delay model. Adversaries use this to plant obsolete

@@ -93,6 +93,19 @@ func (s Summary) String() string {
 		s.Count, s.Min, s.Median, s.Mean, s.P95, s.Max)
 }
 
+// MergeCounts adds src's per-type counts into dst and returns dst,
+// allocating it when nil. Reports aggregate message counts across seeds and
+// protocols with it.
+func MergeCounts(dst, src map[string]int) map[string]int {
+	if dst == nil {
+		dst = make(map[string]int, len(src))
+	}
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}
+
 // StringInDelta renders the summary with every statistic expressed in units
 // of δ.
 func (s Summary) StringInDelta(delta time.Duration) string {

@@ -37,6 +37,7 @@ type Collector struct {
 	logs      []string
 	logLimit  int
 	logging   bool
+	observers []func(kind string, s Sample)
 }
 
 // NewCollector returns an empty collector with logging disabled.
@@ -85,12 +86,29 @@ func (c *Collector) MessageDropped(msgType string) {
 
 // Emit appends an observation to the named series.
 func (c *Collector) Emit(at time.Duration, proc int, kind string, value int64) {
+	s := Sample{At: at, Proc: proc, Value: value}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.series == nil {
 		c.series = make(map[string][]Sample)
 	}
-	c.series[kind] = append(c.series[kind], Sample{At: at, Proc: proc, Value: value})
+	c.series[kind] = append(c.series[kind], s)
+	obs := c.observers
+	c.mu.Unlock()
+	// Observers run outside the lock so they may re-enter the collector
+	// (e.g. a fault schedule crashing the emitting process, which drops
+	// messages and records the drops here).
+	for _, fn := range obs {
+		fn(kind, s)
+	}
+}
+
+// OnEmit registers an observer called synchronously on every Emit. The
+// scenario engine's fault schedules use this to react to protocol progress
+// (a process entering a round or session) without protocol-specific wiring.
+func (c *Collector) OnEmit(fn func(kind string, s Sample)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observers = append(c.observers, fn)
 }
 
 // Logf records a formatted log line if logging is enabled.
