@@ -245,3 +245,30 @@ func BenchmarkTable11MessageComplexity(b *testing.B) {
 		b.Logf("\n%s", tab.String())
 	}
 }
+
+// benchSweepWorkers measures a sweep-style multi-seed grid — one canned
+// scenario across every visible protocol with a widened seed matrix, the
+// unit of work `scenario sweep` executes per cluster size — at a fixed
+// worker-pool size. Serial (1 worker) vs parallel (GOMAXPROCS) quantifies
+// the scenario engine's multi-core win.
+func benchSweepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	spec, ok := scenario.Lookup("split-brain-until-TS")
+	if !ok {
+		b.Fatal("missing canned scenario")
+	}
+	spec.Seeds = 8
+	spec.Workers = workers
+	for i := 0; i < b.N; i++ {
+		rep, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed() {
+			b.Fatalf("violations: %+v", rep.Violations)
+		}
+	}
+}
+
+func BenchmarkScenarioSweepSerial(b *testing.B)   { benchSweepWorkers(b, 1) }
+func BenchmarkScenarioSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }

@@ -1,7 +1,8 @@
 // Command consensus-sim runs a single simulated consensus experiment and
 // prints its outcome, timing, and message accounting.
 //
-// Usage:
+// Usage (any protocol name registered with internal/protocol is accepted,
+// including hidden ablation variants such as modpaxos-norule):
 //
 //	consensus-sim [-protocol modpaxos|paxos|roundbased|bconsensus]
 //	              [-n 5] [-delta 10ms] [-ts 200ms] [-rho 0.01]
@@ -30,11 +31,21 @@ import (
 	"time"
 
 	"repro/internal/core/consensus"
-	"repro/internal/core/modpaxos"
 	"repro/internal/harness"
+	"repro/internal/protocol"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
+
+// protocolNames enumerates the registered protocols for the flag help and
+// error messages (hidden ablation variants still resolve by name).
+func protocolNames() string {
+	var names []string
+	for _, d := range protocol.Visible() {
+		names = append(names, d.Name)
+	}
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -46,7 +57,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("consensus-sim", flag.ContinueOnError)
 	var (
-		protocol  = fs.String("protocol", "modpaxos", "protocol: modpaxos, paxos, roundbased, bconsensus")
+		proto     = fs.String("protocol", "modpaxos", "protocol: "+protocolNames())
 		n         = fs.Int("n", 5, "number of processes")
 		delta     = fs.Duration("delta", 10*time.Millisecond, "δ")
 		ts        = fs.Duration("ts", 200*time.Millisecond, "stabilization time TS")
@@ -69,7 +80,7 @@ func run(args []string) error {
 	}
 
 	cfg := harness.Config{
-		Protocol: harness.Protocol(*protocol),
+		Protocol: harness.Protocol(*proto),
 		N:        *n, Delta: *delta, TS: *ts, Rho: *rho,
 		Sigma: *sigma, Eps: *eps, Seed: *seed,
 		Attack: harness.AttackKind(*attack), AttackK: *k,
@@ -150,8 +161,8 @@ func report(cfg harness.Config, res harness.Result, verbose bool) {
 	fmt.Printf("decided    %v  value=%q\n", res.Decided, res.Value)
 	fmt.Printf("first decision  %v\n", res.FirstDecision)
 	fmt.Printf("last decision   %v  (%s after TS)\n", res.LastDecision, trace.InDelta(res.LatencyAfterTS, cfg.Delta))
-	if cfg.Protocol == harness.ModifiedPaxos {
-		if bound, err := modpaxos.DecisionBound(modpaxos.Config{Delta: cfg.Delta, Sigma: cfg.Sigma, Eps: cfg.Eps, Rho: cfg.Rho}); err == nil {
+	if d, err := protocol.Get(string(cfg.Protocol)); err == nil && d.DecisionBound != nil {
+		if bound, err := d.DecisionBound(cfg.Params()); err == nil {
 			fmt.Printf("paper bound     ε+3τ+5δ = %v (%s)\n", bound, trace.InDelta(bound, cfg.Delta))
 		}
 	}

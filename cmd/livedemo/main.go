@@ -2,7 +2,8 @@
 // optionally real TCP — through an unstable period followed by
 // stabilization, and reports when each process decides.
 //
-// Usage:
+// Usage (protocols are enumerated from the registry; any registered
+// protocol that does not need the simulator's leader oracle is accepted):
 //
 //	livedemo [-protocol modpaxos|roundbased|bconsensus] [-n 5]
 //	         [-delta 20ms] [-unstable 300ms] [-loss 0.5] [-tcp]
@@ -19,14 +20,26 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
-	"repro/internal/core/bconsensus"
 	"repro/internal/core/consensus"
-	"repro/internal/core/modpaxos"
-	"repro/internal/core/roundbased"
 	"repro/internal/live"
+	"repro/internal/protocol"
 )
+
+// liveProtocols enumerates the registered protocols the live runtime can
+// run — every visible descriptor that does not need the simulator's leader
+// oracle.
+func liveProtocols() string {
+	var names []string
+	for _, d := range protocol.Visible() {
+		if !d.NeedsLeaderOracle {
+			names = append(names, d.Name)
+		}
+	}
+	return strings.Join(names, ", ")
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -38,7 +51,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("livedemo", flag.ContinueOnError)
 	var (
-		protocol = fs.String("protocol", "modpaxos", "protocol: modpaxos, roundbased, bconsensus")
+		proto    = fs.String("protocol", "modpaxos", "protocol: "+liveProtocols())
 		n        = fs.Int("n", 5, "number of processes")
 		delta    = fs.Duration("delta", 20*time.Millisecond, "δ (live delivery bound)")
 		unstable = fs.Duration("unstable", 300*time.Millisecond, "duration of the pre-stabilization period")
@@ -50,28 +63,16 @@ func run(args []string) error {
 		return err
 	}
 
-	var factory consensus.Factory
-	switch *protocol {
-	case "modpaxos":
-		f, err := modpaxos.New(modpaxos.Config{Delta: *delta})
-		if err != nil {
-			return err
-		}
-		factory = f
-	case "roundbased":
-		f, err := roundbased.New(roundbased.Config{Delta: *delta})
-		if err != nil {
-			return err
-		}
-		factory = f
-	case "bconsensus":
-		f, err := bconsensus.New(bconsensus.Config{Delta: *delta})
-		if err != nil {
-			return err
-		}
-		factory = f
-	default:
-		return fmt.Errorf("unknown protocol %q (traditional paxos needs the simulator's leader oracle; use consensus-sim)", *protocol)
+	d, err := protocol.Get(*proto)
+	if err != nil {
+		return fmt.Errorf("unknown protocol %q (live-capable: %s)", *proto, liveProtocols())
+	}
+	if d.NeedsLeaderOracle {
+		return fmt.Errorf("%q needs the simulator's leader oracle; use consensus-sim (live-capable: %s)", *proto, liveProtocols())
+	}
+	factory, err := d.Build(protocol.Params{Delta: *delta})
+	if err != nil {
+		return err
 	}
 
 	proposals := make([]consensus.Value, *n)

@@ -5,23 +5,29 @@
 //
 //	scenario list
 //	scenario run [-seeds N] [-n N] [-delta D] [-ts D] [-format text|json] <name>|all
-//	scenario sweep [-ns 5,9,17] [-seeds N] [-delta D] <name>|all
+//	scenario sweep [-ns 5,9,17] [-seeds N] [-delta D] [-format text|csv|json] <name>|all
 //
+// `list` enumerates the canned scenarios and the registered protocols.
 // `run` executes a scenario across its protocol set and seed matrix and
 // prints the report; it exits non-zero if any invariant was violated, so a
 // scenario run doubles as a CI gate. `sweep` re-runs a scenario across
 // cluster sizes and prints the median latency after TS per protocol — the
-// O(δ) vs O(Nδ) shape at a glance. Runs are deterministic in the flags.
+// O(δ) vs O(Nδ) shape at a glance; -format csv|json emits one row per
+// (scenario, N, protocol) cell for plotting. Runs are deterministic in the
+// flags.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/protocol"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -50,8 +56,17 @@ func run(args []string, out io.Writer) error {
 }
 
 func cmdList(out io.Writer) error {
+	fmt.Fprintln(out, "protocols (from the registry; hidden variants run only when named):")
+	for _, d := range protocol.All() {
+		name := d.Name
+		if d.Hidden {
+			name += " (hidden)"
+		}
+		fmt.Fprintf(out, "  %-26s %s\n", name, d.Doc)
+	}
+	fmt.Fprintln(out, "\nscenarios:")
 	for _, s := range scenario.Library() {
-		fmt.Fprintf(out, "%-26s %s\n", s.Name, s.Description)
+		fmt.Fprintf(out, "  %-26s %s\n", s.Name, s.Description)
 	}
 	return nil
 }
@@ -147,16 +162,36 @@ func cmdRun(args []string, out io.Writer) error {
 	return nil
 }
 
+// sweepRow is one (scenario, N, protocol) cell of a sweep in
+// machine-readable form (-format csv|json), ready for plotting.
+type sweepRow struct {
+	Scenario            string        `json:"scenario"`
+	N                   int           `json:"n"`
+	Protocol            string        `json:"protocol"`
+	Seeds               int           `json:"seeds"`
+	Decided             int           `json:"decided"`
+	Delta               time.Duration `json:"delta_ns"`
+	LatencyMedian       time.Duration `json:"latency_median_ns"`
+	LatencyMedianDeltas float64       `json:"latency_median_deltas"`
+	LatencyMax          time.Duration `json:"latency_max_ns"`
+	MessagesMedian      int64         `json:"messages_median"`
+	Violations          int           `json:"violations"`
+}
+
 func cmdSweep(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scenario sweep", flag.ContinueOnError)
 	var (
-		ns    = fs.String("ns", "5,9,17", "comma-separated cluster sizes")
-		seeds = fs.Int("seeds", 3, "seeds per protocol per size")
-		delta = fs.Duration("delta", 0, "δ override (0 = scenario default)")
+		ns     = fs.String("ns", "5,9,17", "comma-separated cluster sizes")
+		seeds  = fs.Int("seeds", 3, "seeds per protocol per size")
+		delta  = fs.Duration("delta", 0, "δ override (0 = scenario default)")
+		format = fs.String("format", "text", "output format: text, csv, or json")
 	)
 	name, err := parseWithName(fs, args, "scenario sweep [flags] <name>|all")
 	if err != nil {
 		return err
+	}
+	if *format != "text" && *format != "csv" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text, csv, or json)", *format)
 	}
 	sizes, err := parseInts(*ns)
 	if err != nil {
@@ -167,12 +202,15 @@ func cmdSweep(args []string, out io.Writer) error {
 		return err
 	}
 	violated := 0
+	var rows []sweepRow
 	for _, spec := range specs {
 		spec.Seeds = *seeds
 		if *delta > 0 {
 			spec.Delta = *delta
 		}
-		fmt.Fprintf(out, "sweep %s — median latency after TS (in δ) vs N\n", spec.Name)
+		if *format == "text" {
+			fmt.Fprintf(out, "sweep %s — median latency after TS (in δ) vs N\n", spec.Name)
+		}
 		var header bool
 		for _, size := range sizes {
 			s := spec
@@ -180,6 +218,27 @@ func cmdSweep(args []string, out io.Writer) error {
 			rep, err := scenario.Run(s)
 			if err != nil {
 				return err
+			}
+			violated += len(rep.Violations)
+			if *format != "text" {
+				for _, pr := range rep.Protocols {
+					nViol := 0
+					for _, v := range rep.Violations {
+						if v.Protocol == pr.Protocol {
+							nViol++
+						}
+					}
+					rows = append(rows, sweepRow{
+						Scenario: spec.Name, N: size, Protocol: string(pr.Protocol),
+						Seeds: pr.Seeds, Decided: pr.Decided, Delta: rep.Delta,
+						LatencyMedian:       pr.Latency.Median,
+						LatencyMedianDeltas: float64(pr.Latency.Median) / float64(rep.Delta),
+						LatencyMax:          pr.Latency.Max,
+						MessagesMedian:      int64(pr.Messages.Median),
+						Violations:          nViol,
+					})
+				}
+				continue
 			}
 			if !header {
 				fmt.Fprintf(out, "%-6s", "N")
@@ -198,12 +257,29 @@ func cmdSweep(args []string, out io.Writer) error {
 				fmt.Fprintf(out, "%-14s", cell)
 			}
 			fmt.Fprintln(out)
-			violated += len(rep.Violations)
 		}
-		fmt.Fprintln(out)
+		if *format == "text" {
+			fmt.Fprintln(out)
+		}
+	}
+	switch *format {
+	case "csv":
+		fmt.Fprintln(out, "scenario,n,protocol,seeds,decided,delta_ns,latency_median_ns,latency_median_deltas,latency_max_ns,messages_median,violations")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%s,%d,%s,%d,%d,%d,%d,%.3f,%d,%d,%d\n",
+				r.Scenario, r.N, r.Protocol, r.Seeds, r.Decided, int64(r.Delta),
+				int64(r.LatencyMedian), r.LatencyMedianDeltas, int64(r.LatencyMax),
+				r.MessagesMedian, r.Violations)
+		}
+	case "json":
+		enc, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(enc))
 	}
 	if violated > 0 {
-		return fmt.Errorf("%d invariant violation(s) during sweep ('!' rows)", violated)
+		return fmt.Errorf("%d invariant violation(s) during sweep", violated)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -85,5 +86,70 @@ func TestSweepSmallest(t *testing.T) {
 	}
 	if !strings.Contains(out, "sweep baseline-synchronous") || !strings.Contains(out, "modpaxos") {
 		t.Errorf("unexpected sweep output:\n%s", out)
+	}
+}
+
+func TestListShowsProtocols(t *testing.T) {
+	out, err := capture(t, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match the name as a whole leading field, not a substring: "paxos"
+	// must not pass just because "modpaxos" is listed.
+	listed := func(name string) bool {
+		for _, line := range strings.Split(out, "\n") {
+			if f := strings.Fields(line); len(f) > 0 && f[0] == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"paxos", "modpaxos", "roundbased", "bconsensus", "modpaxos-norule"} {
+		if !listed(want) {
+			t.Errorf("list missing protocol %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	out, err := capture(t, "sweep", "-ns", "3", "-seeds", "1", "-format", "csv", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "scenario,n,protocol,") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+	// One row per (protocol) cell at N=3 for each visible protocol.
+	if len(lines) != 1+4 {
+		t.Fatalf("got %d CSV rows, want 4:\n%s", len(lines)-1, out)
+	}
+	for _, line := range lines[1:] {
+		if fields := strings.Split(line, ","); len(fields) != 11 {
+			t.Fatalf("row has %d fields, want 11: %q", len(fields), line)
+		}
+	}
+}
+
+func TestSweepJSON(t *testing.T) {
+	out, err := capture(t, "sweep", "-ns", "3", "-seeds", "1", "-format", "json", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d JSON rows, want 4", len(rows))
+	}
+	if rows[0]["scenario"] != "baseline-synchronous" || rows[0]["n"] != float64(3) {
+		t.Fatalf("unexpected first row: %+v", rows[0])
+	}
+}
+
+func TestSweepRejectsUnknownFormat(t *testing.T) {
+	if _, err := capture(t, "sweep", "-format", "xml", "baseline-synchronous"); err == nil {
+		t.Fatal("unknown sweep format should fail")
 	}
 }

@@ -14,8 +14,8 @@ import (
 	"time"
 
 	"repro/internal/core/consensus"
-	"repro/internal/core/modpaxos"
 	"repro/internal/live"
+	"repro/internal/protocol"
 )
 
 func main() {
@@ -32,9 +32,17 @@ func main() {
 	for i := range proposals {
 		proposals[i] = consensus.Value(fmt.Sprintf("proposal-of-p%d", i))
 	}
+	d, err := protocol.Get("modpaxos")
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory, err := d.Build(protocol.Params{Delta: delta})
+	if err != nil {
+		log.Fatal(err)
+	}
 	cluster, err := live.NewCluster(
 		live.Config{N: n, Delta: delta, Transport: transport},
-		modpaxos.MustNew(modpaxos.Config{Delta: delta}),
+		factory,
 		proposals,
 	)
 	if err != nil {

@@ -1,32 +1,22 @@
-// Package adversary builds the adversarial schedules the paper's analysis
-// turns on:
+// Package adversary provides the protocol-independent machinery for the
+// adversarial schedules the paper's analysis turns on: scheduled injection
+// of forged "obsolete" messages (§2's delayed pre-stabilization traffic),
+// the adaptive-release skeleton that times each forgery to abort the
+// incumbent ballot, and the dead-coordinator selector (§3).
 //
-//   - ObsoleteBallotAttack (§2): pre-stabilization, a process that has since
-//     failed ran Start Phase 1 repeatedly, inflating its ballot number
-//     without bound (traditional Paxos lets a process do this unilaterally).
-//     Its old phase 1a messages were delayed in the network and surface one
-//     by one after TS, each timed to abort the incumbent leader's ballot and
-//     force a retry — the O(Nδ) worst case.
-//
-//   - SessionCappedAttack: the strongest injection the same adversary can
-//     mount against the modified algorithm. Proof step 1 caps every message
-//     ever sent at session s0+1, so the "obsolete" messages carry session
-//     s0+1 ballots; the modified algorithm absorbs them in O(δ).
-//
-//   - CoordinatorKiller (§3): for rotating-coordinator round-based
-//     algorithms, the ⌈N/2⌉−1 processes that coordinate the first rounds
-//     after stabilization are crashed from the start, so each of their
-//     rounds burns a timeout — the other O(Nδ) worst case.
+// The protocol-specific halves — which message type triggers a release and
+// which message is forged — live with the protocols themselves
+// (paxos.ReactiveObsoleteAttack, modpaxos.SessionCappedAttack, …), wired to
+// the harness through each protocol's registry descriptor
+// (protocol.Descriptor.Obsolete). This package knows nothing about any
+// particular protocol.
 package adversary
 
 import (
 	"time"
 
 	"repro/internal/core/consensus"
-	"repro/internal/core/paxos"
 	"repro/internal/simnet"
-
-	modpaxosproto "repro/internal/core/modpaxos"
 )
 
 // Injection is one obsolete message to plant.
@@ -37,97 +27,6 @@ type Injection struct {
 	Msg  consensus.Message
 }
 
-// ObsoleteBallotAttack builds k obsolete traditional-Paxos phase 1a
-// messages "sent" before TS by failed process from, arriving at the victim
-// acceptor at Spacing intervals starting at TS+Spacing. Ballot i is chosen
-// high enough (stepping by 2N) that it still exceeds the leader's bump in
-// response to ballot i−1, so each injection forces a fresh Reject/retry
-// cycle.
-type ObsoleteBallotAttack struct {
-	// K is the number of obsolete messages (the paper allows up to
-	// ⌈N/2⌉−1 failed processes; one failed process suffices to carry
-	// arbitrarily many ballots, so K may exceed that here).
-	K int
-	// From is the failed process the messages claim to come from. It
-	// should be a process that is down for the whole run.
-	From consensus.ProcessID
-	// Victims are the nonfaulty acceptors that receive each injection.
-	// To actually force a retry the victims must deny the leader a
-	// majority: at least (up processes − majority + 1) of them. Passing
-	// every up process except the leader is the paper's worst case.
-	Victims []consensus.ProcessID
-	// Spacing is the interval between successive obsolete ballots
-	// (default 3δ: one Reject round trip plus slack, so the leader has
-	// started its next ballot before the next obsolete message lands).
-	Spacing time.Duration
-}
-
-// Build returns the injection schedule for a network with parameters n, δ,
-// TS.
-func (a ObsoleteBallotAttack) Build(n int, delta, ts time.Duration) []Injection {
-	spacing := a.Spacing
-	if spacing == 0 {
-		spacing = 3 * delta
-	}
-	out := make([]Injection, 0, a.K*len(a.Victims))
-	for i := 0; i < a.K; i++ {
-		// Sessions 10, 12, 14, ... of the failed process: each ballot
-		// exceeds the leader's response to the previous one (the leader
-		// bumps by < N per Reject, we step by 2N).
-		bal := consensus.BallotFor(int64(10+2*i), a.From, n)
-		at := ts + time.Duration(i+1)*spacing
-		for _, v := range a.Victims {
-			out = append(out, Injection{
-				At:   at,
-				From: a.From,
-				To:   v,
-				Msg:  paxos.P1a{Bal: bal},
-			})
-		}
-	}
-	return out
-}
-
-// SessionCappedAttack is the equivalent adversary against the modified
-// algorithm. The session rule (proof step 1) means no message with session
-// greater than s0+1 can exist, where s0 is the highest session among
-// processes nonfaulty at TS; the adversary therefore injects session-Cap
-// phase 1a messages — the strongest legal forgery.
-type SessionCappedAttack struct {
-	// K is the number of injected messages.
-	K int
-	// From is the failed process they claim to come from.
-	From consensus.ProcessID
-	// Victims receive each injection.
-	Victims []consensus.ProcessID
-	// Cap is the session number to use (s0+1 for the run's schedule).
-	Cap int64
-	// Spacing is the interval between injections (default 3δ).
-	Spacing time.Duration
-}
-
-// Build returns the injection schedule.
-func (a SessionCappedAttack) Build(n int, delta, ts time.Duration) []Injection {
-	spacing := a.Spacing
-	if spacing == 0 {
-		spacing = 3 * delta
-	}
-	out := make([]Injection, 0, a.K*len(a.Victims))
-	for i := 0; i < a.K; i++ {
-		bal := consensus.BallotFor(a.Cap, a.From, n)
-		at := ts + time.Duration(i+1)*spacing
-		for _, v := range a.Victims {
-			out = append(out, Injection{
-				At:   at,
-				From: a.From,
-				To:   v,
-				Msg:  modpaxosproto.P1a{Bal: bal},
-			})
-		}
-	}
-	return out
-}
-
 // Apply schedules the injections on a network.
 func Apply(nw *simnet.Network, injections []Injection) {
 	for _, inj := range injections {
@@ -135,73 +34,37 @@ func Apply(nw *simnet.Network, injections []Injection) {
 	}
 }
 
-// ReactiveObsoleteAttack is the adaptive worst-case version of
-// ObsoleteBallotAttack: instead of a fixed schedule, the adversary watches
-// deliveries (it controls the network, so it knows when the leader's latest
-// phase 1a reaches an acceptor) and releases the next obsolete ballot at
-// exactly that moment. This guarantees one full Reject/retry cycle (≈3δ:
-// phase 1a + phase 2a + Reject transit) per obsolete ballot — the paper's
-// O(Nδ) worst case with K = ⌈N/2⌉−1 failed processes' worth of messages.
-type ReactiveObsoleteAttack struct {
-	// K is the number of obsolete ballots to release.
+// Reactive is the adaptive worst-case release skeleton shared by the
+// protocol attacks: the adversary controls the network, so it watches
+// deliveries and releases the next obsolete message at exactly the moment
+// the incumbent has moved past the previous one — guaranteeing one full
+// abort/retry cycle per forgery, the paper's O(Nδ) construction.
+//
+// Trigger and Forge carry the protocol-specific halves: Trigger recognizes
+// the delivery showing the incumbent ballot has progressed and returns that
+// ballot; Forge builds the protocol's phase 1a message for the forged
+// ballot, which Reactive picks two sessions ahead so it beats the
+// incumbent's bump in response to the previous forgery.
+type Reactive struct {
+	// K is the number of obsolete messages to release.
 	K int
-	// From is the failed process the ballots belong to.
+	// From is the failed process the messages claim to come from.
 	From consensus.ProcessID
-	// Victims receive each release; they must be able to deny the leader
-	// a majority.
+	// Victims receive each release; to abort a ballot they must be able to
+	// deny it a majority.
 	Victims []consensus.ProcessID
+	// Trigger inspects a delivery on a cluster of n processes and reports
+	// the ballot the incumbent has progressed to (ok=false ignores the
+	// delivery). Deliveries before TS, ballots owned by From, and ballots
+	// not exceeding the last forgery are filtered out by Reactive itself.
+	Trigger func(n int, to consensus.ProcessID, m consensus.Message) (bal consensus.Ballot, ok bool)
+	// Forge builds the protocol's message carrying the forged ballot.
+	Forge func(bal consensus.Ballot) consensus.Message
 }
 
 // Install registers the adversary on the network. It returns a counter
-// function reporting how many ballots have been released.
-func (a ReactiveObsoleteAttack) Install(nw *simnet.Network) func() int {
-	n := nw.Config().N
-	ts := nw.Config().TS
-	released := 0
-	var lastInjected consensus.Ballot = -1
-	victim := make(map[consensus.ProcessID]bool, len(a.Victims))
-	for _, v := range a.Victims {
-		victim[v] = true
-	}
-	nw.Observe(func(at time.Duration, from, to consensus.ProcessID, m consensus.Message) {
-		if released >= a.K || at < ts || !victim[to] {
-			return
-		}
-		p1a, ok := m.(paxos.P1a)
-		if !ok || p1a.Bal.Owner(n) == a.From || p1a.Bal <= lastInjected {
-			return
-		}
-		// The leader has moved past our last obsolete ballot: release the
-		// next one, high enough to beat the current ballot.
-		bal := consensus.BallotFor(p1a.Bal.Session(n)+2, a.From, n)
-		lastInjected = bal
-		released++
-		for _, v := range a.Victims {
-			nw.Inject(at, a.From, v, paxos.P1a{Bal: bal})
-		}
-	})
-	return func() int { return released }
-}
-
-// ReactiveSessionAttack is the modified-Paxos analogue of
-// ReactiveObsoleteAttack for ABLATION runs: it releases obsolete messages
-// with ever-higher session numbers, timed to abort each in-flight ballot.
-// Against the real algorithm such messages cannot exist (proof step 1 —
-// the majority-entry rule caps legal sessions at s0+1); against the
-// ablated algorithm (modpaxos.Config.DisableEntryRule) a failed process
-// could legally have produced them before TS, and they delay consensus
-// indefinitely, which is exactly why the rule exists.
-type ReactiveSessionAttack struct {
-	// K is the number of obsolete messages to release.
-	K int
-	// From is the failed process they claim to come from.
-	From consensus.ProcessID
-	// Victims receive each release (typically every up process).
-	Victims []consensus.ProcessID
-}
-
-// Install registers the adversary; it returns a released-count reporter.
-func (a ReactiveSessionAttack) Install(nw *simnet.Network) func() int {
+// function reporting how many messages have been released.
+func (a Reactive) Install(nw *simnet.Network) func() int {
 	n := nw.Config().N
 	ts := nw.Config().TS
 	released := 0
@@ -210,19 +73,18 @@ func (a ReactiveSessionAttack) Install(nw *simnet.Network) func() int {
 		if released >= a.K || at < ts {
 			return
 		}
-		// Trigger on the first phase 1b reaching the incumbent ballot's
-		// owner: the owner is one message delay away from broadcasting
-		// phase 2a, so a higher session released NOW reaches the victims
-		// before that 2a does and aborts the ballot.
-		p1b, ok := m.(modpaxosproto.P1b)
-		if !ok || p1b.Bal.Owner(n) != to || p1b.Bal.Owner(n) == a.From || p1b.Bal <= lastInjected {
+		bal, ok := a.Trigger(n, to, m)
+		if !ok || bal.Owner(n) == a.From || bal <= lastInjected {
 			return
 		}
-		bal := consensus.BallotFor(p1b.Bal.Session(n)+2, a.From, n)
-		lastInjected = bal
+		// The incumbent has moved past our last forgery: release the next
+		// one, two sessions ahead so it beats the incumbent's bump (the
+		// incumbent bumps by < N per abort, we step by 2N).
+		next := consensus.BallotFor(bal.Session(n)+2, a.From, n)
+		lastInjected = next
 		released++
 		for _, v := range a.Victims {
-			nw.Inject(at, a.From, v, modpaxosproto.P1a{Bal: bal})
+			nw.Inject(at, a.From, v, a.Forge(next))
 		}
 	})
 	return func() int { return released }

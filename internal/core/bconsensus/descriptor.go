@@ -1,0 +1,21 @@
+package bconsensus
+
+import (
+	"repro/internal/core/consensus"
+	"repro/internal/protocol"
+)
+
+// Descriptor returns the protocol-registry entry for the modified
+// B-Consensus of §5. It is registered by the protocol/all package.
+func Descriptor() protocol.Descriptor {
+	return protocol.Descriptor{
+		Name: "bconsensus",
+		Doc:  "modified B-Consensus (§5, claim C6): leaderless, oracle-based, O(δ) after TS independent of N",
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return New(Config{Delta: p.Delta, Eps: p.Eps, Rho: p.Rho})
+		},
+		Messages: []consensus.Message{
+			Wab{}, First{}, Second{}, Decided{},
+		},
+	}
+}

@@ -1,0 +1,86 @@
+package modpaxos
+
+import (
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core/consensus"
+	"repro/internal/simnet"
+)
+
+// SessionCappedAttack is the strongest injection the §2 adversary can mount
+// against the modified algorithm. The session rule (proof step 1) means no
+// message with session greater than s0+1 can exist, where s0 is the highest
+// session among processes nonfaulty at TS; the adversary therefore injects
+// session-Cap phase 1a messages — the strongest legal forgery, which the
+// modified algorithm absorbs in O(δ).
+type SessionCappedAttack struct {
+	// K is the number of injected messages.
+	K int
+	// From is the failed process they claim to come from.
+	From consensus.ProcessID
+	// Victims receive each injection.
+	Victims []consensus.ProcessID
+	// Cap is the session number to use (s0+1 for the run's schedule).
+	Cap int64
+	// Spacing is the interval between injections (default 3δ).
+	Spacing time.Duration
+}
+
+// Build returns the injection schedule.
+func (a SessionCappedAttack) Build(n int, delta, ts time.Duration) []adversary.Injection {
+	spacing := a.Spacing
+	if spacing == 0 {
+		spacing = 3 * delta
+	}
+	out := make([]adversary.Injection, 0, a.K*len(a.Victims))
+	for i := 0; i < a.K; i++ {
+		bal := consensus.BallotFor(a.Cap, a.From, n)
+		at := ts + time.Duration(i+1)*spacing
+		for _, v := range a.Victims {
+			out = append(out, adversary.Injection{
+				At:   at,
+				From: a.From,
+				To:   v,
+				Msg:  P1a{Bal: bal},
+			})
+		}
+	}
+	return out
+}
+
+// ReactiveSessionAttack is the modified-Paxos analogue of
+// paxos.ReactiveObsoleteAttack for ABLATION runs: it releases obsolete
+// messages with ever-higher session numbers, timed to abort each in-flight
+// ballot. Against the real algorithm such messages cannot exist (proof
+// step 1 — the majority-entry rule caps legal sessions at s0+1); against
+// the ablated algorithm (Config.DisableEntryRule) a failed process could
+// legally have produced them before TS, and they delay consensus
+// indefinitely, which is exactly why the rule exists.
+type ReactiveSessionAttack struct {
+	// K is the number of obsolete messages to release.
+	K int
+	// From is the failed process they claim to come from.
+	From consensus.ProcessID
+	// Victims receive each release (typically every up process).
+	Victims []consensus.ProcessID
+}
+
+// Install registers the adversary; it returns a released-count reporter.
+func (a ReactiveSessionAttack) Install(nw *simnet.Network) func() int {
+	return adversary.Reactive{
+		K: a.K, From: a.From, Victims: a.Victims,
+		// Trigger on the first phase 1b reaching the incumbent ballot's
+		// owner: the owner is one message delay away from broadcasting
+		// phase 2a, so a higher session released NOW reaches the victims
+		// before that 2a does and aborts the ballot.
+		Trigger: func(n int, to consensus.ProcessID, m consensus.Message) (consensus.Ballot, bool) {
+			p1b, ok := m.(P1b)
+			if !ok || p1b.Bal.Owner(n) != to {
+				return 0, false
+			}
+			return p1b.Bal, true
+		},
+		Forge: func(bal consensus.Ballot) consensus.Message { return P1a{Bal: bal} },
+	}.Install(nw)
+}

@@ -1,14 +1,83 @@
-package adversary
+package modpaxos_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/core/consensus"
 	"repro/internal/core/modpaxos"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
+
+const delta = 10 * time.Millisecond
+
+func proposals(n int) []consensus.Value {
+	out := make([]consensus.Value, n)
+	for i := range out {
+		out[i] = consensus.Value(fmt.Sprintf("v%d", i))
+	}
+	return out
+}
+
+func TestSessionCappedAttackBuild(t *testing.T) {
+	a := modpaxos.SessionCappedAttack{K: 4, From: 3, Victims: []consensus.ProcessID{0}, Cap: 2}
+	inj := a.Build(5, delta, 100*time.Millisecond)
+	if len(inj) != 4 {
+		t.Fatalf("got %d injections, want 4", len(inj))
+	}
+	for _, in := range inj {
+		m, ok := in.Msg.(modpaxos.P1a)
+		if !ok {
+			t.Fatalf("injection is %T, want modpaxos.P1a", in.Msg)
+		}
+		if m.Bal.Session(5) != 2 {
+			t.Fatalf("session %d, want cap 2", m.Bal.Session(5))
+		}
+	}
+}
+
+// TestModifiedPaxosAbsorbsEquivalentAttack shows the contrast (claim C3):
+// the strongest legal injection against the modified algorithm leaves it
+// within its O(δ) bound, independent of k.
+func TestModifiedPaxosAbsorbsEquivalentAttack(t *testing.T) {
+	const n = 5
+	ts := 100 * time.Millisecond
+	run := func(k int) time.Duration {
+		eng := sim.NewEngine(11)
+		nw, err := simnet.New(eng, simnet.Config{N: n, Delta: delta, TS: ts, Policy: simnet.DropAll{}, Rho: 0.01},
+			modpaxos.MustNew(modpaxos.Config{Delta: delta, Rho: 0.01}), proposals(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With DropAll every live process idles in session 1 at TS, so
+		// the legal cap is s0+1 = 2.
+		adversary.Apply(nw, modpaxos.SessionCappedAttack{
+			K: k, From: 4, Victims: []consensus.ProcessID{1, 2, 3}, Cap: 2,
+		}.Build(n, delta, ts))
+		nw.StartExcept(4)
+		ok, err := nw.RunUntilAllDecided(time.Minute)
+		if err != nil {
+			t.Fatalf("k=%d: safety violation: %v", k, err)
+		}
+		if !ok {
+			t.Fatalf("k=%d: no decision", k)
+		}
+		last, _ := nw.Checker().LastDecisionAmong(nw.UpIDs())
+		return last - ts
+	}
+	bound, err := modpaxos.DecisionBound(modpaxos.Config{Delta: delta, Rho: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat0, lat8 := run(0), run(8)
+	if lat0 > bound || lat8 > bound {
+		t.Fatalf("modified paxos exceeded bound %v: k0=%v k8=%v", bound, lat0, lat8)
+	}
+	t.Logf("modified paxos latency after TS: k=0 %v, k=8 %v (bound %v)", lat0, lat8, bound)
+}
 
 // TestAblationEntryRuleIsLoadBearing shows why the majority-session-entry
 // rule exists: with it disabled, a failed process could legally have built
@@ -17,7 +86,6 @@ import (
 // rule enabled, the strongest legal attack (session-capped) is absorbed.
 func TestAblationEntryRuleIsLoadBearing(t *testing.T) {
 	const n = 5
-	const delta = 10 * time.Millisecond
 	ts := 100 * time.Millisecond
 	victims := []consensus.ProcessID{0, 1, 2, 3}
 
@@ -32,9 +100,11 @@ func TestAblationEntryRuleIsLoadBearing(t *testing.T) {
 			t.Fatal(err)
 		}
 		if disableRule {
-			ReactiveSessionAttack{K: k, From: 4, Victims: victims}.Install(nw)
+			modpaxos.ReactiveSessionAttack{K: k, From: 4, Victims: victims}.Install(nw)
 		} else {
-			Apply(nw, SessionCappedAttack{K: k, From: 4, Victims: victims, Cap: 2}.Build(n, delta, ts))
+			adversary.Apply(nw, modpaxos.SessionCappedAttack{
+				K: k, From: 4, Victims: victims, Cap: 2,
+			}.Build(n, delta, ts))
 		}
 		nw.StartExcept(4)
 		ok, err := nw.RunUntilAllDecided(time.Minute)
@@ -74,7 +144,6 @@ func TestAblationEntryRuleIsLoadBearing(t *testing.T) {
 // re-established after TS and the cluster cannot decide.
 func TestAblationHeartbeatIsLoadBearing(t *testing.T) {
 	const n = 5
-	const delta = 10 * time.Millisecond
 	ts := 100 * time.Millisecond
 
 	eng := sim.NewEngine(6)

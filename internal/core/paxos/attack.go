@@ -1,0 +1,99 @@
+package paxos
+
+import (
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core/consensus"
+	"repro/internal/simnet"
+)
+
+// ObsoleteBallotAttack builds k obsolete traditional-Paxos phase 1a
+// messages "sent" before TS by failed process From, arriving at the victim
+// acceptors at Spacing intervals starting at TS+Spacing (§2's delayed
+// pre-stabilization traffic). Ballot i is chosen high enough (stepping by
+// 2N) that it still exceeds the leader's bump in response to ballot i−1, so
+// each injection forces a fresh Reject/retry cycle.
+type ObsoleteBallotAttack struct {
+	// K is the number of obsolete messages (the paper allows up to
+	// ⌈N/2⌉−1 failed processes; one failed process suffices to carry
+	// arbitrarily many ballots, so K may exceed that here).
+	K int
+	// From is the failed process the messages claim to come from. It
+	// should be a process that is down for the whole run.
+	From consensus.ProcessID
+	// Victims are the nonfaulty acceptors that receive each injection.
+	// To actually force a retry the victims must deny the leader a
+	// majority: at least (up processes − majority + 1) of them. Passing
+	// every up process except the leader is the paper's worst case.
+	Victims []consensus.ProcessID
+	// Spacing is the interval between successive obsolete ballots
+	// (default 3δ: one Reject round trip plus slack, so the leader has
+	// started its next ballot before the next obsolete message lands).
+	Spacing time.Duration
+}
+
+// Build returns the injection schedule for a network with parameters n, δ,
+// TS.
+func (a ObsoleteBallotAttack) Build(n int, delta, ts time.Duration) []adversary.Injection {
+	spacing := a.Spacing
+	if spacing == 0 {
+		spacing = 3 * delta
+	}
+	out := make([]adversary.Injection, 0, a.K*len(a.Victims))
+	for i := 0; i < a.K; i++ {
+		// Sessions 10, 12, 14, ... of the failed process: each ballot
+		// exceeds the leader's response to the previous one (the leader
+		// bumps by < N per Reject, we step by 2N).
+		bal := consensus.BallotFor(int64(10+2*i), a.From, n)
+		at := ts + time.Duration(i+1)*spacing
+		for _, v := range a.Victims {
+			out = append(out, adversary.Injection{
+				At:   at,
+				From: a.From,
+				To:   v,
+				Msg:  P1a{Bal: bal},
+			})
+		}
+	}
+	return out
+}
+
+// ReactiveObsoleteAttack is the adaptive worst-case version of
+// ObsoleteBallotAttack: instead of a fixed schedule, the adversary watches
+// deliveries (it controls the network, so it knows when the leader's latest
+// phase 1a reaches an acceptor) and releases the next obsolete ballot at
+// exactly that moment. This guarantees one full Reject/retry cycle (≈3δ:
+// phase 1a + phase 2a + Reject transit) per obsolete ballot — the paper's
+// O(Nδ) worst case with K = ⌈N/2⌉−1 failed processes' worth of messages.
+type ReactiveObsoleteAttack struct {
+	// K is the number of obsolete ballots to release.
+	K int
+	// From is the failed process the ballots belong to.
+	From consensus.ProcessID
+	// Victims receive each release; they must be able to deny the leader
+	// a majority.
+	Victims []consensus.ProcessID
+}
+
+// Install registers the adversary on the network. It returns a counter
+// function reporting how many ballots have been released.
+func (a ReactiveObsoleteAttack) Install(nw *simnet.Network) func() int {
+	victim := make(map[consensus.ProcessID]bool, len(a.Victims))
+	for _, v := range a.Victims {
+		victim[v] = true
+	}
+	return adversary.Reactive{
+		K: a.K, From: a.From, Victims: a.Victims,
+		// The leader's own phase 1a reaching a victim acceptor means it has
+		// moved past the previous obsolete ballot.
+		Trigger: func(n int, to consensus.ProcessID, m consensus.Message) (consensus.Ballot, bool) {
+			p1a, ok := m.(P1a)
+			if !ok || !victim[to] {
+				return 0, false
+			}
+			return p1a.Bal, true
+		},
+		Forge: func(bal consensus.Ballot) consensus.Message { return P1a{Bal: bal} },
+	}.Install(nw)
+}

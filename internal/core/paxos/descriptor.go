@@ -1,0 +1,33 @@
+package paxos
+
+import (
+	"repro/internal/core/consensus"
+	"repro/internal/protocol"
+	"repro/internal/simnet"
+)
+
+// Descriptor returns the protocol-registry entry for traditional Paxos.
+// It is registered by the protocol/all package.
+func Descriptor() protocol.Descriptor {
+	return protocol.Descriptor{
+		Name: "paxos",
+		Doc:  "traditional Paxos (§2, claim C1): O(Nδ) after TS under obsolete-ballot release",
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return New(Config{Delta: p.Delta}), nil
+		},
+		// The §2 attack: adaptive release of obsolete high-ballot phase 1a
+		// messages, each timed to abort the incumbent leader's ballot.
+		Obsolete: func(_ protocol.Params, s protocol.ObsoleteSpec) protocol.Installer {
+			return func(nw *simnet.Network) {
+				ReactiveObsoleteAttack{K: s.K, From: s.From, Victims: s.Victims}.Install(nw)
+			}
+		},
+		Messages: []consensus.Message{
+			P1a{}, P1b{}, P2a{}, P2b{}, Reject{}, Decided{},
+		},
+		// The baseline assumes a leader oracle ("a leader is eventually
+		// elected"); the harness installs the simulated one, and the live
+		// runtime, which has none, refuses the protocol.
+		NeedsLeaderOracle: true,
+	}
+}

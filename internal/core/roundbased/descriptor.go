@@ -1,0 +1,24 @@
+package roundbased
+
+import (
+	"repro/internal/core/consensus"
+	"repro/internal/protocol"
+)
+
+// Descriptor returns the protocol-registry entry for the rotating-
+// coordinator round-based baseline. It is registered by the protocol/all
+// package. The obsolete-message attack is undefined for it; its worst case
+// is dead coordinators (harness.DeadCoordinators), which is
+// protocol-independent.
+func Descriptor() protocol.Descriptor {
+	return protocol.Descriptor{
+		Name: "roundbased",
+		Doc:  "rotating-coordinator round-based (§3, claim C2): O(Nδ) after TS under dead coordinators",
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return New(Config{Delta: p.Delta, Rho: p.Rho})
+		},
+		Messages: []consensus.Message{
+			InRound{}, Estimate{}, Coord{}, Ack{}, Decided{},
+		},
+	}
+}

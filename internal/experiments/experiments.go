@@ -4,12 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/adversary"
-	"repro/internal/core/consensus"
-	"repro/internal/core/modpaxos"
 	"repro/internal/harness"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/protocol"
 )
 
 // Params are the common experiment knobs. The zero value is not usable;
@@ -31,6 +27,17 @@ type Params struct {
 // TS = 200ms, 5 seeds, ρ = 1%.
 func DefaultParams() Params {
 	return Params{Delta: 10 * time.Millisecond, TS: 200 * time.Millisecond, Seeds: 5, Rho: 0.01}
+}
+
+// modpaxosBound asks the registry for modified Paxos's declared decision
+// bound (ε + 3τ + 5δ) at the given parameters — the line every latency
+// table is compared against.
+func modpaxosBound(delta, sigma time.Duration, rho float64) (time.Duration, error) {
+	d, err := protocol.Get(string(harness.ModifiedPaxos))
+	if err != nil {
+		return 0, err
+	}
+	return d.DecisionBound(protocol.Params{Delta: delta, Sigma: sigma, Rho: rho})
 }
 
 // run executes one harness config and fails loudly: experiments are
@@ -124,7 +131,7 @@ func Table2LatencyVsDelta(p Params) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		bound, err := modpaxos.DecisionBound(modpaxos.Config{Delta: delta, Rho: p.Rho})
+		bound, err := modpaxosBound(delta, 0, p.Rho)
 		if err != nil {
 			return Table{}, err
 		}
@@ -351,7 +358,7 @@ func Table7SigmaSweep(p Params) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		bound, err := modpaxos.DecisionBound(modpaxos.Config{Delta: p.Delta, Rho: p.Rho, Sigma: sigma})
+		bound, err := modpaxosBound(p.Delta, sigma, p.Rho)
 		if err != nil {
 			return Table{}, err
 		}
@@ -409,7 +416,7 @@ func Table9ClockDrift(p Params) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		bound, err := modpaxos.DecisionBound(modpaxos.Config{Delta: p.Delta, Rho: rho})
+		bound, err := modpaxosBound(p.Delta, 0, rho)
 		if err != nil {
 			return Table{}, err
 		}
@@ -486,20 +493,31 @@ func Table10EntryRuleAblation(p Params) (Table, error) {
 		Notes: fmt.Sprintf("N=5 δ=%v TS=%v seeds=%d; worst-case delivery; adaptive release timed against each ballot",
 			p.Delta, p.TS, p.Seeds),
 	}
-	bound, err := modpaxos.DecisionBound(modpaxos.Config{Delta: p.Delta, Rho: p.Rho})
+	bound, err := modpaxosBound(p.Delta, 0, p.Rho)
 	if err != nil {
 		return Table{}, err
 	}
+	// Both arms run through the ordinary harness: the ablated algorithm is
+	// just another registered protocol ("modpaxos-norule", the hidden
+	// variant shipped by protocol/all), and each descriptor's Obsolete hook
+	// mounts the strongest attack its rules allow — session-capped for the
+	// real algorithm, adaptive high-session release for the ablated one.
 	for _, k := range []int{0, 2, 4, 8} {
 		row := []string{fmt.Sprintf("%d", k)}
-		for _, ablate := range []bool{false, true} {
+		for _, proto := range []harness.Protocol{harness.ModifiedPaxos, "modpaxos-norule"} {
 			var lats []time.Duration
 			for s := 0; s < p.Seeds; s++ {
-				res, err := runAblation(p, k, ablate, int64(7000+s))
+				res, err := run(harness.Config{
+					Protocol: proto, N: 5, Delta: p.Delta, TS: p.TS, Rho: p.Rho,
+					Attack: harness.ObsoleteBallots, AttackK: k,
+					WorstCaseDelays: true,
+					Seed:            int64(7000 + s),
+					Horizon:         5 * time.Minute,
+				})
 				if err != nil {
 					return Table{}, err
 				}
-				lats = append(lats, res)
+				lats = append(lats, res.LatencyAfterTS)
 			}
 			row = append(row, inDelta(medianOf(lats), p.Delta))
 		}
@@ -507,42 +525,6 @@ func Table10EntryRuleAblation(p Params) (Table, error) {
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
-}
-
-// runAblation performs one entry-rule ablation run outside the harness (the
-// harness only exposes the paper-faithful configuration).
-func runAblation(p Params, k int, disableRule bool, seed int64) (time.Duration, error) {
-	const n = 5
-	eng := sim.NewEngine(seed)
-	factory, err := modpaxos.New(modpaxos.Config{Delta: p.Delta, Rho: p.Rho, DisableEntryRule: disableRule})
-	if err != nil {
-		return 0, err
-	}
-	nw, err := simnet.New(eng, simnet.Config{
-		N: n, Delta: p.Delta, TS: p.TS, MinDelay: p.Delta,
-		Policy: simnet.DropAll{}, Rho: p.Rho,
-	}, factory, harness.DefaultProposals(n))
-	if err != nil {
-		return 0, err
-	}
-	victims := []consensus.ProcessID{0, 1, 2, 3}
-	if disableRule {
-		adversary.ReactiveSessionAttack{K: k, From: 4, Victims: victims}.Install(nw)
-	} else {
-		adversary.Apply(nw, adversary.SessionCappedAttack{
-			K: k, From: 4, Victims: victims, Cap: 2,
-		}.Build(n, p.Delta, p.TS))
-	}
-	nw.StartExcept(4)
-	ok, err := nw.RunUntilAllDecided(5 * time.Minute)
-	if err != nil {
-		return 0, fmt.Errorf("experiments: ablation safety violation: %w", err)
-	}
-	if !ok {
-		return 0, fmt.Errorf("experiments: ablation run (k=%d disable=%v seed=%d) did not decide", k, disableRule, seed)
-	}
-	last, _ := nw.Checker().LastDecisionAmong(nw.UpIDs())
-	return last - p.TS, nil
 }
 
 // Table11MessageComplexity compares total messages sent until decision

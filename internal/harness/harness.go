@@ -7,6 +7,12 @@
 // Every experiment table in EXPERIMENTS.md and every benchmark in
 // bench_test.go is generated through this package, so the CLI, the
 // benchmarks, and the tests all measure exactly the same code paths.
+//
+// Protocols are resolved by name through the protocol registry
+// (internal/protocol): the harness holds no protocol-specific code, so a
+// newly registered protocol — or an ablation variant registered by a test —
+// runs through Run unchanged, including its variant of the obsolete-message
+// adversary (the descriptor's Obsolete hook) and its leader-oracle needs.
 package harness
 
 import (
@@ -15,21 +21,23 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/clock"
-	"repro/internal/core/bconsensus"
 	"repro/internal/core/consensus"
-	"repro/internal/core/modpaxos"
-	"repro/internal/core/paxos"
-	"repro/internal/core/roundbased"
 	"repro/internal/leader"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
+
+	// Make the built-in protocols available wherever the harness runs.
+	_ "repro/internal/protocol/all"
 )
 
-// Protocol selects one of the implemented consensus algorithms.
+// Protocol names a consensus algorithm in the protocol registry
+// (internal/protocol). Any registered name is accepted; the constants cover
+// the paper's four built-ins.
 type Protocol string
 
-// The implemented protocols.
+// The built-in protocols.
 const (
 	// TraditionalPaxos is the §2 baseline (claim C1).
 	TraditionalPaxos Protocol = "paxos"
@@ -41,9 +49,16 @@ const (
 	ModifiedBConsensus Protocol = "bconsensus"
 )
 
-// Protocols lists all implemented protocols.
+// Protocols lists the registered protocols that take part in default
+// comparisons (hidden ablation variants are excluded; they run only when
+// named explicitly).
 func Protocols() []Protocol {
-	return []Protocol{TraditionalPaxos, ModifiedPaxos, RoundBased, ModifiedBConsensus}
+	ds := protocol.Visible()
+	out := make([]Protocol, len(ds))
+	for i, d := range ds {
+		out[i] = Protocol(d.Name)
+	}
+	return out
 }
 
 // AttackKind selects the adversarial schedule.
@@ -143,21 +158,11 @@ type Result struct {
 	Violation error
 }
 
-// factory builds the consensus.Factory for the configured protocol.
-func (c Config) factory() (consensus.Factory, error) {
-	switch c.Protocol {
-	case TraditionalPaxos:
-		return paxos.New(paxos.Config{Delta: c.Delta}), nil
-	case ModifiedPaxos:
-		return modpaxos.New(modpaxos.Config{
-			Delta: c.Delta, Sigma: c.Sigma, Eps: c.Eps, Rho: c.Rho, Prepared: c.Prepared,
-		})
-	case RoundBased:
-		return roundbased.New(roundbased.Config{Delta: c.Delta, Rho: c.Rho})
-	case ModifiedBConsensus:
-		return bconsensus.New(bconsensus.Config{Delta: c.Delta, Eps: c.Eps, Rho: c.Rho})
-	default:
-		return nil, fmt.Errorf("harness: unknown protocol %q", c.Protocol)
+// Params maps the config's protocol parameters onto the registry's common
+// parameter set.
+func (c Config) Params() protocol.Params {
+	return protocol.Params{
+		Delta: c.Delta, Sigma: c.Sigma, Eps: c.Eps, Rho: c.Rho, Prepared: c.Prepared,
 	}
 }
 
@@ -183,7 +188,11 @@ func Run(cfg Config) (Result, error) {
 			cfg.Policy = simnet.Synchronous{}
 		}
 	}
-	factory, err := cfg.factory()
+	desc, err := protocol.Get(string(cfg.Protocol))
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %w", err)
+	}
+	factory, err := desc.Build(cfg.Params())
 	if err != nil {
 		return Result{}, err
 	}
@@ -206,12 +215,12 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	down, err := installAdversary(nw, cfg)
+	down, err := installAdversary(nw, desc, cfg)
 	if err != nil {
 		return Result{}, err
 	}
 
-	if cfg.Protocol == TraditionalPaxos {
+	if desc.NeedsLeaderOracle {
 		leader.Install(nw, leader.Config{Stable: stableLeader(cfg, down)})
 	}
 
@@ -302,8 +311,11 @@ func stableLeader(cfg Config, down []consensus.ProcessID) consensus.ProcessID {
 }
 
 // installAdversary wires the configured attack and returns the processes
-// that must stay down from the start.
-func installAdversary(nw *simnet.Network, cfg Config) ([]consensus.ProcessID, error) {
+// that must stay down from the start. The obsolete-message attack is
+// protocol-specific (each protocol's rules bound what the adversary can
+// forge), so its construction is delegated to the descriptor's hook; the
+// dead-coordinator attack is plain crashes and needs no protocol knowledge.
+func installAdversary(nw *simnet.Network, desc protocol.Descriptor, cfg Config) ([]consensus.ProcessID, error) {
 	switch cfg.Attack {
 	case "", NoAttack:
 		return nil, nil
@@ -312,26 +324,20 @@ func installAdversary(nw *simnet.Network, cfg Config) ([]consensus.ProcessID, er
 		if cfg.AttackK == 0 {
 			return nil, nil
 		}
-		// The failed process carrying the obsolete ballots is the
+		if desc.Obsolete == nil {
+			return nil, fmt.Errorf("harness: obsolete-ballot attack not defined for %q", cfg.Protocol)
+		}
+		// The failed process carrying the obsolete messages is the
 		// highest-id process; the victims are every other non-leader.
 		from := consensus.ProcessID(cfg.N - 1)
 		var victims []consensus.ProcessID
 		for i := 1; i < cfg.N-1; i++ {
 			victims = append(victims, consensus.ProcessID(i))
 		}
-		switch cfg.Protocol {
-		case TraditionalPaxos:
-			adversary.ReactiveObsoleteAttack{K: cfg.AttackK, From: from, Victims: victims}.Install(nw)
-		case ModifiedPaxos:
-			// The strongest legal injection: session s0+1 = 2 under the
-			// DropAll pre-TS policy (all live processes idle in session
-			// 1 at TS).
-			adversary.Apply(nw, adversary.SessionCappedAttack{
-				K: cfg.AttackK, From: from, Victims: victims, Cap: 2,
-			}.Build(cfg.N, cfg.Delta, cfg.TS))
-		default:
-			return nil, fmt.Errorf("harness: obsolete-ballot attack not defined for %q", cfg.Protocol)
-		}
+		desc.Obsolete(cfg.Params(), protocol.ObsoleteSpec{
+			N: cfg.N, Delta: cfg.Delta, TS: cfg.TS,
+			K: cfg.AttackK, From: from, Victims: victims,
+		})(nw)
 		return []consensus.ProcessID{from}, nil
 
 	case DeadCoordinators:

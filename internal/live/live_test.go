@@ -5,13 +5,27 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core/bconsensus"
 	"repro/internal/core/consensus"
 	"repro/internal/core/modpaxos"
-	"repro/internal/core/roundbased"
+	"repro/internal/protocol"
 )
 
 const delta = 20 * time.Millisecond
+
+// factory resolves a protocol factory through the registry — the same path
+// the live CLIs use.
+func factory(t *testing.T, name string, d time.Duration) consensus.Factory {
+	t.Helper()
+	desc, err := protocol.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := desc.Build(protocol.Params{Delta: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
 
 func distinctProposals(n int) []consensus.Value {
 	out := make([]consensus.Value, n)
@@ -23,7 +37,7 @@ func distinctProposals(n int) []consensus.Value {
 
 func TestModifiedPaxosLiveMemoryTransport(t *testing.T) {
 	c, err := NewCluster(Config{N: 5, Delta: delta},
-		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(5))
+		factory(t, "modpaxos", delta), distinctProposals(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +65,7 @@ func TestModifiedPaxosLiveWithUnstablePeriod(t *testing.T) {
 		LossProb:       0.6,
 	})
 	c, err := NewCluster(Config{N: 5, Delta: delta, Transport: transport},
-		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(5))
+		factory(t, "modpaxos", delta), distinctProposals(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +85,7 @@ func TestModifiedPaxosLiveWithUnstablePeriod(t *testing.T) {
 
 func TestRoundBasedLive(t *testing.T) {
 	c, err := NewCluster(Config{N: 3, Delta: delta},
-		roundbased.MustNew(roundbased.Config{Delta: delta}), distinctProposals(3))
+		factory(t, "roundbased", delta), distinctProposals(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +98,7 @@ func TestRoundBasedLive(t *testing.T) {
 
 func TestBConsensusLive(t *testing.T) {
 	c, err := NewCluster(Config{N: 3, Delta: delta},
-		bconsensus.MustNew(bconsensus.Config{Delta: delta}), distinctProposals(3))
+		factory(t, "bconsensus", delta), distinctProposals(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +117,7 @@ func TestLiveCrashRestartRecovers(t *testing.T) {
 		t.Skip("skipping ~10s crash/restart wall-clock test in -short mode")
 	}
 	c, err := NewCluster(Config{N: 5, Delta: delta},
-		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(5))
+		factory(t, "modpaxos", delta), distinctProposals(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +160,7 @@ func TestLiveTCPTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	c, err := NewCluster(Config{N: 3, Delta: delta, Transport: transport},
-		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(3))
+		factory(t, "modpaxos", delta), distinctProposals(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,14 +184,14 @@ func TestLiveTCPTransport(t *testing.T) {
 }
 
 func TestClusterConfigValidation(t *testing.T) {
-	factory := modpaxos.MustNew(modpaxos.Config{Delta: delta})
-	if _, err := NewCluster(Config{N: 0, Delta: delta}, factory, nil); err == nil {
+	f := factory(t, "modpaxos", delta)
+	if _, err := NewCluster(Config{N: 0, Delta: delta}, f, nil); err == nil {
 		t.Error("N=0 should be rejected")
 	}
-	if _, err := NewCluster(Config{N: 3, Delta: 0}, factory, distinctProposals(3)); err == nil {
+	if _, err := NewCluster(Config{N: 3, Delta: 0}, f, distinctProposals(3)); err == nil {
 		t.Error("Delta=0 should be rejected")
 	}
-	if _, err := NewCluster(Config{N: 3, Delta: delta}, factory, distinctProposals(2)); err == nil {
+	if _, err := NewCluster(Config{N: 3, Delta: delta}, f, distinctProposals(2)); err == nil {
 		t.Error("proposal mismatch should be rejected")
 	}
 }
@@ -206,7 +220,7 @@ func TestMemTransportCloseStopsDeliveries(t *testing.T) {
 
 func TestStopIsIdempotentAndWaitsForGoroutines(t *testing.T) {
 	c, err := NewCluster(Config{N: 3, Delta: delta},
-		modpaxos.MustNew(modpaxos.Config{Delta: delta}), distinctProposals(3))
+		factory(t, "modpaxos", delta), distinctProposals(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +239,7 @@ func TestStateDirSurvivesClusterTeardown(t *testing.T) {
 
 	// First incarnation decides and is torn down completely.
 	c1, err := NewCluster(Config{N: 3, Delta: delta, StateDir: dir},
-		modpaxos.MustNew(modpaxos.Config{Delta: delta}), proposalsSet)
+		factory(t, "modpaxos", delta), proposalsSet)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +259,7 @@ func TestStateDirSurvivesClusterTeardown(t *testing.T) {
 	// its decision from disk at Init, without any network exchange needed
 	// (the decided state is durable).
 	c2, err := NewCluster(Config{N: 3, Delta: delta, StateDir: dir},
-		modpaxos.MustNew(modpaxos.Config{Delta: delta}), proposalsSet)
+		factory(t, "modpaxos", delta), proposalsSet)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,11 +6,12 @@ import (
 	"net"
 	"sync"
 
-	"repro/internal/core/bconsensus"
 	"repro/internal/core/consensus"
-	"repro/internal/core/modpaxos"
-	"repro/internal/core/paxos"
-	"repro/internal/core/roundbased"
+	"repro/internal/protocol"
+
+	// The registry is the source of wire message types; make sure the
+	// built-in protocols are in it even when the importer skips the harness.
+	_ "repro/internal/protocol/all"
 )
 
 // envelope is the wire format of the TCP transport. Msg travels as a gob
@@ -22,24 +23,18 @@ type envelope struct {
 	Msg  consensus.Message
 }
 
-// registerOnce guards the idempotent gob registration.
-var registerOnce sync.Once
-
-// RegisterMessages registers every protocol message type in this repository
-// with encoding/gob, enabling the TCP transport for all four protocols.
-// Additional application-defined messages can be registered directly with
-// gob.Register.
+// RegisterMessages registers every message type declared by the protocol
+// registry's descriptors with encoding/gob, enabling the TCP transport for
+// every registered protocol. It is idempotent (gob tolerates identical
+// re-registration) and may be called again after registering a new
+// protocol. Additional application-defined messages can be registered
+// directly with gob.Register.
 func RegisterMessages() {
-	registerOnce.Do(func() {
-		for _, m := range []consensus.Message{
-			paxos.P1a{}, paxos.P1b{}, paxos.P2a{}, paxos.P2b{}, paxos.Reject{}, paxos.Decided{},
-			modpaxos.P1a{}, modpaxos.P1b{}, modpaxos.P2a{}, modpaxos.P2b{}, modpaxos.Decided{},
-			roundbased.InRound{}, roundbased.Estimate{}, roundbased.Coord{}, roundbased.Ack{}, roundbased.Decided{},
-			bconsensus.Wab{}, bconsensus.First{}, bconsensus.Second{}, bconsensus.Decided{},
-		} {
+	for _, d := range protocol.All() {
+		for _, m := range d.Messages {
 			gob.Register(m)
 		}
-	})
+	}
 }
 
 // TCPTransport connects processes over loopback (or real) TCP with

@@ -1,0 +1,113 @@
+package protocol_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/core/modpaxos"
+	"repro/internal/harness"
+	"repro/internal/protocol"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
+)
+
+// TestRegisteredVariantRunsEverywhere is the registry's payoff proof: a
+// derived protocol variant (modified Paxos with the entry rule disabled,
+// built here from the modpaxos package directly) is registered under a new
+// name and then runs through harness.Run — including its own variant of the
+// obsolete-message adversary — and through a scenario Spec, without a
+// single change to harness or scenario source.
+func TestRegisteredVariantRunsEverywhere(t *testing.T) {
+	const name = "test-modpaxos-norule"
+	protocol.MustRegister(protocol.Descriptor{
+		Name:   name,
+		Doc:    "test-registered ablation: modified Paxos without the majority-entry rule",
+		Hidden: true, // keep it out of other tests' default protocol sets
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return modpaxos.New(modpaxos.Config{
+				Delta: p.Delta, Sigma: p.Sigma, Eps: p.Eps, Rho: p.Rho,
+				DisableEntryRule: true,
+			})
+		},
+		Obsolete: func(_ protocol.Params, s protocol.ObsoleteSpec) protocol.Installer {
+			return func(nw *simnet.Network) {
+				modpaxos.ReactiveSessionAttack{K: s.K, From: s.From, Victims: s.Victims}.Install(nw)
+			}
+		},
+	})
+
+	// Through the harness, with the variant's own adversary mounted.
+	res, err := harness.Run(harness.Config{
+		Protocol: name, N: 5, Delta: delta, TS: 100 * time.Millisecond,
+		Attack: harness.ObsoleteBallots, AttackK: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || res.Violation != nil {
+		t.Fatalf("harness run of the registered variant failed: decided=%v violation=%v",
+			res.Decided, res.Violation)
+	}
+
+	// Through a scenario Spec, alongside the real algorithm, under the
+	// default safety checks.
+	rep, err := scenario.Run(scenario.Spec{
+		Name:      "registered-variant",
+		Protocols: []harness.Protocol{harness.ModifiedPaxos, name},
+		N:         5, Seeds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("scenario violations: %+v", rep.Violations)
+	}
+	if len(rep.Protocols) != 2 || rep.Protocols[1].Protocol != name {
+		t.Fatalf("report sections: %+v", rep.Protocols)
+	}
+	if rep.Protocols[1].Decided != 2 {
+		t.Fatalf("variant decided %d/2 seeds", rep.Protocols[1].Decided)
+	}
+	// The real algorithm reports its bound; the ablation, which declares
+	// none, must not.
+	if rep.Protocols[0].Bound <= 0 {
+		t.Error("modpaxos section missing its bound")
+	}
+	if rep.Protocols[1].Bound != 0 {
+		t.Error("ablation variant must not report a bound it does not claim")
+	}
+
+	// The variant never joins default comparisons (it is hidden) …
+	for _, p := range harness.Protocols() {
+		if p == name {
+			t.Error("hidden variant leaked into harness.Protocols()")
+		}
+	}
+	// … but the Prepared fast path is gated off for it.
+	if _, err := harness.Run(harness.Config{
+		Protocol: name, N: 3, Delta: delta, Prepared: true, Seed: 1,
+	}); err == nil {
+		t.Error("Prepared should be rejected for the variant")
+	}
+}
+
+// TestHarnessRejectsUnknownProtocol pins the harness's registry error path.
+func TestHarnessRejectsUnknownProtocol(t *testing.T) {
+	if _, err := harness.Run(harness.Config{Protocol: "never-registered", N: 3, Delta: delta}); err == nil {
+		t.Fatal("unregistered protocol should error")
+	}
+}
+
+// TestHarnessRejectsObsoleteAttackWithoutHook pins the capability gate: the
+// obsolete-message attack only runs against protocols whose descriptor
+// defines it.
+func TestHarnessRejectsObsoleteAttackWithoutHook(t *testing.T) {
+	_, err := harness.Run(harness.Config{
+		Protocol: harness.RoundBased, N: 5, Delta: delta, TS: 50 * time.Millisecond,
+		Attack: harness.ObsoleteBallots, AttackK: 2,
+	})
+	if err == nil {
+		t.Fatal("obsolete attack on roundbased should error (no Obsolete hook)")
+	}
+}

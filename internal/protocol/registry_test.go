@@ -1,0 +1,160 @@
+package protocol_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/protocol"
+
+	_ "repro/internal/protocol/all"
+)
+
+const delta = 10 * time.Millisecond
+
+func TestGetUnknownName(t *testing.T) {
+	_, err := protocol.Get("no-such-protocol")
+	if err == nil {
+		t.Fatal("unknown name should error")
+	}
+	if !strings.Contains(err.Error(), "no-such-protocol") {
+		t.Errorf("error %q does not name the unknown protocol", err)
+	}
+	// The error lists the registered names, so a typo is self-diagnosing.
+	if !strings.Contains(err.Error(), "modpaxos") {
+		t.Errorf("error %q does not list registered protocols", err)
+	}
+}
+
+func TestRegisterRejectsInvalidAndDuplicate(t *testing.T) {
+	if err := protocol.Register(protocol.Descriptor{Name: ""}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if err := protocol.Register(protocol.Descriptor{Name: "no-constructor"}); err == nil {
+		t.Error("nil constructor should be rejected")
+	}
+	d := protocol.Descriptor{
+		Name: "dup-test",
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return nil, nil
+		},
+	}
+	if err := protocol.Register(d); err != nil {
+		t.Fatalf("first registration failed: %v", err)
+	}
+	if err := protocol.Register(d); err == nil {
+		t.Error("duplicate registration should be rejected")
+	}
+}
+
+func TestBuiltinsRegisteredInCanonicalOrder(t *testing.T) {
+	var names, visible []string
+	for _, d := range protocol.All() {
+		names = append(names, d.Name)
+	}
+	for _, d := range protocol.Visible() {
+		visible = append(visible, d.Name)
+	}
+	// All() preserves registration order; protocol/all registers the four
+	// built-ins first, then the hidden ablation variants.
+	for i, want := range []string{"paxos", "modpaxos", "roundbased", "bconsensus", "modpaxos-norule"} {
+		if i >= len(names) || names[i] != want {
+			t.Fatalf("All() = %v, want prefix [paxos modpaxos roundbased bconsensus modpaxos-norule]", names)
+		}
+	}
+	for _, v := range visible {
+		if v == "modpaxos-norule" {
+			t.Error("hidden ablation variant leaked into Visible()")
+		}
+	}
+}
+
+// builtins returns the descriptors shipped by protocol/all, skipping any
+// registered by other tests in this binary.
+func builtins(t *testing.T) []protocol.Descriptor {
+	t.Helper()
+	var out []protocol.Descriptor
+	for _, name := range []string{"paxos", "modpaxos", "roundbased", "bconsensus", "modpaxos-norule"} {
+		d, err := protocol.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func TestDescriptorShapes(t *testing.T) {
+	for _, d := range builtins(t) {
+		if d.Doc == "" {
+			t.Errorf("%s: no Doc", d.Name)
+		}
+		if len(d.Messages) == 0 {
+			t.Errorf("%s: no wire messages declared", d.Name)
+		}
+		f, err := d.Build(protocol.Params{Delta: delta})
+		if err != nil {
+			t.Errorf("%s: Build failed: %v", d.Name, err)
+		} else if f == nil {
+			t.Errorf("%s: Build returned nil factory", d.Name)
+		}
+	}
+	mp, err := protocol.Get("modpaxos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.DecisionBound == nil {
+		t.Fatal("modpaxos must declare its ε+3τ+5δ bound")
+	}
+	if bound, err := mp.DecisionBound(protocol.Params{Delta: delta}); err != nil || bound <= 0 {
+		t.Fatalf("modpaxos bound = %v, %v", bound, err)
+	}
+	norule, err := protocol.Get("modpaxos-norule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norule.DecisionBound != nil {
+		t.Error("the entry-rule ablation must not claim the paper's bound")
+	}
+	if norule.Obsolete == nil {
+		t.Error("the entry-rule ablation must define its high-session attack")
+	}
+}
+
+func TestPreparedCapabilityGating(t *testing.T) {
+	for _, name := range []string{"paxos", "roundbased", "bconsensus", "modpaxos-norule"} {
+		d, err := protocol.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Build(protocol.Params{Delta: delta, Prepared: true}); err == nil {
+			t.Errorf("%s: Prepared should be rejected without SupportsPrepared", name)
+		}
+	}
+	mp, err := protocol.Get("modpaxos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.Build(protocol.Params{Delta: delta, Prepared: true}); err != nil {
+		t.Errorf("modpaxos supports Prepared but Build rejected it: %v", err)
+	}
+}
+
+func TestOnlyTraditionalPaxosNeedsLeaderOracle(t *testing.T) {
+	for _, d := range builtins(t) {
+		want := d.Name == "paxos"
+		if d.NeedsLeaderOracle != want {
+			t.Errorf("%s: NeedsLeaderOracle = %v, want %v", d.Name, d.NeedsLeaderOracle, want)
+		}
+	}
+}
+
+func TestOnlyModpaxosClaimsFastRecovery(t *testing.T) {
+	for _, d := range builtins(t) {
+		want := d.Name == "modpaxos"
+		if d.ClaimsFastRecovery != want {
+			t.Errorf("%s: ClaimsFastRecovery = %v, want %v", d.Name, d.ClaimsFastRecovery, want)
+		}
+	}
+}

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"repro/internal/core/consensus"
-	"repro/internal/core/modpaxos"
 	"repro/internal/harness"
+	"repro/internal/protocol"
 )
 
 // RunResult is one executed (protocol, seed) cell handed to checks.
@@ -90,10 +90,26 @@ func (Validity) Check(r RunResult) error {
 	return fmt.Errorf("decided value %q was never proposed", r.Res.Value)
 }
 
-// LatencyBound checks the paper's headline claim: modified Paxos decides by
-// TS + ε + 3τ + 5δ. It applies only to modpaxos runs (the bound is §4's);
-// scenarios whose fault schedule violates the bound's premises (failures
-// after TS) must not include it.
+// decisionBound resolves the run's protocol descriptor and returns its
+// declared post-TS decision bound, or ok=false for protocols that claim
+// none (the bound checks then do not apply).
+func decisionBound(r RunResult) (time.Duration, bool, error) {
+	d, err := protocol.Get(string(r.Protocol))
+	if err != nil || d.DecisionBound == nil {
+		return 0, false, nil
+	}
+	bound, err := d.DecisionBound(r.Cfg.Params())
+	if err != nil {
+		return 0, false, err
+	}
+	return bound, true, nil
+}
+
+// LatencyBound checks the paper's headline claim: a protocol that declares
+// a decision bound in its registry descriptor (modified Paxos's
+// TS + ε + 3τ + 5δ) decides within it. Runs of protocols without a declared
+// bound pass trivially; scenarios whose fault schedule violates the bound's
+// premises (failures after TS) must not include the check.
 type LatencyBound struct{}
 
 // Name implements Check.
@@ -101,13 +117,11 @@ func (LatencyBound) Name() string { return "latency-bound" }
 
 // Check implements Check.
 func (LatencyBound) Check(r RunResult) error {
-	if r.Protocol != harness.ModifiedPaxos || !r.Res.Decided {
+	if !r.Res.Decided {
 		return nil
 	}
-	bound, err := modpaxos.DecisionBound(modpaxos.Config{
-		Delta: r.Cfg.Delta, Sigma: r.Cfg.Sigma, Eps: r.Cfg.Eps, Rho: r.Cfg.Rho,
-	})
-	if err != nil {
+	bound, ok, err := decisionBound(r)
+	if err != nil || !ok {
 		return err
 	}
 	if lat := r.LatencyAfterTS(); lat > bound {
@@ -116,8 +130,11 @@ func (LatencyBound) Check(r RunResult) error {
 	return nil
 }
 
-// RecoveryBound checks the §4 restart claim on modpaxos runs: every process
-// that restarts after TS decides within MaxDeltas·δ of its restart.
+// RecoveryBound checks the §4 restart claim: every process that restarts
+// after TS decides within MaxDeltas·δ of its restart. It applies exactly to
+// the protocols whose descriptor sets ClaimsFastRecovery — a separate
+// capability from DecisionBound, because bounding decision latency and
+// bounding restart recovery are independent claims.
 type RecoveryBound struct {
 	// MaxDeltas is the allowed recovery time in units of δ.
 	MaxDeltas float64
@@ -128,7 +145,7 @@ func (RecoveryBound) Name() string { return "recovery-bound" }
 
 // Check implements Check.
 func (c RecoveryBound) Check(r RunResult) error {
-	if r.Protocol != harness.ModifiedPaxos {
+	if d, err := protocol.Get(string(r.Protocol)); err != nil || !d.ClaimsFastRecovery {
 		return nil
 	}
 	limit := time.Duration(c.MaxDeltas * float64(r.Cfg.Delta))

@@ -3,11 +3,13 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
-	"repro/internal/core/modpaxos"
 	"repro/internal/harness"
+	"repro/internal/protocol"
 	"repro/internal/trace"
 )
 
@@ -28,7 +30,8 @@ type ProtocolReport struct {
 	// seeds; LatencyDeltas is the same rendered in units of δ.
 	Latency       trace.Summary `json:"latency_ns"`
 	LatencyDeltas string        `json:"latency_in_delta"`
-	// Bound is the ε+3τ+5δ bound (modpaxos only, 0 otherwise).
+	// Bound is the protocol's declared decision bound (for protocols whose
+	// registry descriptor carries one, e.g. modpaxos's ε+3τ+5δ; 0 otherwise).
 	Bound time.Duration `json:"bound_ns,omitempty"`
 	// Messages summarizes total sends per run; MessagesByType merges the
 	// per-type counts over all seeds.
@@ -51,9 +54,21 @@ type Report struct {
 // Passed reports whether every check passed on every run.
 func (r *Report) Passed() bool { return len(r.Violations) == 0 }
 
+// cell is one (protocol, seed) run outcome, produced by the worker pool.
+type cell struct {
+	run RunResult
+	err error
+}
+
 // Run executes the scenario across its protocol set and seed matrix.
 // Violated invariants are recorded in the report, not returned as errors;
 // the error path is reserved for configurations that cannot run at all.
+//
+// The (protocol, seed) cells are independent — each run owns its engine,
+// network, and collector — so they execute on a worker pool (Spec.Workers,
+// default GOMAXPROCS). Aggregation and check evaluation happen afterwards
+// in deterministic (protocol, seed) order, so the report is identical for
+// every worker count.
 func Run(spec Spec) (*Report, error) {
 	spec = spec.withDefaults()
 	rep := &Report{
@@ -64,33 +79,73 @@ func Run(spec Spec) (*Report, error) {
 		TS:          spec.TS,
 		Seeds:       spec.Seeds,
 	}
-	for _, p := range spec.Protocols {
+
+	cells := make([][]cell, len(spec.Protocols))
+	for pi := range cells {
+		cells[pi] = make([]cell, spec.Seeds)
+	}
+	type job struct{ pi, si int }
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if total := len(spec.Protocols) * spec.Seeds; workers > total {
+		workers = total
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				p := spec.Protocols[j.pi]
+				seed := spec.BaseSeed + int64(j.si)
+				out := &cells[j.pi][j.si]
+				cfg, err := spec.config(p, seed)
+				if err != nil {
+					out.err = err
+					continue
+				}
+				res, err := harness.Run(cfg)
+				if err != nil {
+					out.err = fmt.Errorf("scenario %s: %s seed %d: %w", spec.Name, p, seed, err)
+					continue
+				}
+				out.run = RunResult{Protocol: p, Seed: seed, Cfg: cfg, Res: res}
+			}
+		}()
+	}
+	for pi := range spec.Protocols {
+		for si := 0; si < spec.Seeds; si++ {
+			jobs <- job{pi, si}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for pi, p := range spec.Protocols {
 		pr := ProtocolReport{Protocol: p, Seeds: spec.Seeds}
 		var lats, msgs []time.Duration
-		for i := 0; i < spec.Seeds; i++ {
-			seed := spec.BaseSeed + int64(i)
-			cfg, err := spec.config(p, seed)
-			if err != nil {
-				return nil, err
+		for si := 0; si < spec.Seeds; si++ {
+			c := cells[pi][si]
+			if c.err != nil {
+				return nil, c.err
 			}
-			res, err := harness.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("scenario %s: %s seed %d: %w", spec.Name, p, seed, err)
-			}
-			run := RunResult{Protocol: p, Seed: seed, Cfg: cfg, Res: res}
-			if res.Decided {
+			run := c.run
+			if run.Res.Decided {
 				pr.Decided++
 				// Only decided runs contribute a latency: a timed-out
 				// run would clamp to 0 and drag the summary toward the
 				// best possible value exactly when the protocol failed.
 				lats = append(lats, run.LatencyAfterTS())
 			}
-			msgs = append(msgs, time.Duration(res.Messages))
-			pr.MessagesByType = trace.MergeCounts(pr.MessagesByType, res.MessagesByType)
-			for _, c := range spec.Checks {
-				if err := c.Check(run); err != nil {
+			msgs = append(msgs, time.Duration(run.Res.Messages))
+			pr.MessagesByType = trace.MergeCounts(pr.MessagesByType, run.Res.MessagesByType)
+			for _, chk := range spec.Checks {
+				if err := chk.Check(run); err != nil {
 					rep.Violations = append(rep.Violations, Violation{
-						Protocol: p, Seed: seed, Check: c.Name(), Detail: err.Error(),
+						Protocol: p, Seed: run.Seed, Check: chk.Name(), Detail: err.Error(),
 					})
 				}
 			}
@@ -98,8 +153,8 @@ func Run(spec Spec) (*Report, error) {
 		pr.Latency = trace.Summarize(lats)
 		pr.LatencyDeltas = pr.Latency.StringInDelta(spec.Delta)
 		pr.Messages = trace.Summarize(msgs)
-		if p == harness.ModifiedPaxos {
-			if bound, err := modpaxos.DecisionBound(modpaxos.Config{
+		if d, err := protocol.Get(string(p)); err == nil && d.DecisionBound != nil {
+			if bound, err := d.DecisionBound(protocol.Params{
 				Delta: spec.Delta, Sigma: spec.Sigma, Eps: spec.Eps, Rho: spec.Clocks.Rho,
 			}); err == nil {
 				pr.Bound = bound

@@ -231,13 +231,15 @@ func (f AssassinateOnSeries) contribute(cfg *harness.Config) error {
 // Spec is one declarative scenario: the regime to run and the invariants it
 // must satisfy. The zero value of every field has a sensible default (see
 // withDefaults), so a Spec reads as a delta against the standard experiment
-// setup (N=5, δ=10ms, TS=200ms, all four protocols, safety checks on).
+// setup (N=5, δ=10ms, TS=200ms, every registered protocol, safety checks
+// on).
 type Spec struct {
 	// Name identifies the scenario (CLI: `scenario run <name>`).
 	Name string
 	// Description is one line of intent shown by `scenario list`.
 	Description string
-	// Protocols to run; nil means all four.
+	// Protocols to run; nil means every visible protocol in the registry
+	// (harness.Protocols()).
 	Protocols []harness.Protocol
 	// N, Delta, TS, Sigma, Eps are the model parameters (defaults: 5,
 	// 10ms, 200ms, protocol defaults).
@@ -268,6 +270,10 @@ type Spec struct {
 	BaseSeed int64
 	// Horizon bounds each run (harness default: 2 minutes virtual).
 	Horizon time.Duration
+	// Workers sizes the pool executing the independent (protocol, seed)
+	// cells concurrently; 0 uses GOMAXPROCS, 1 forces serial execution.
+	// The report is identical for every worker count.
+	Workers int
 }
 
 // withDefaults returns the spec with every zero field resolved.

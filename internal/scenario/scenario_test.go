@@ -196,3 +196,55 @@ func TestRelResolve(t *testing.T) {
 		t.Error("IsZero misclassifies")
 	}
 }
+
+// TestParallelExecutionIsDeterministic pins the worker-pool contract: the
+// report must be byte-identical whether the (protocol, seed) cells run
+// serially or on every available core.
+func TestParallelExecutionIsDeterministic(t *testing.T) {
+	spec, ok := Lookup("split-brain-until-TS")
+	if !ok {
+		t.Fatal("missing canned scenario")
+	}
+	spec.Seeds = 3
+
+	serial := spec
+	serial.Workers = 1
+	parallel := spec
+	parallel.Workers = 8
+
+	repS, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repP, err := Run(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonS, err := repS.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonP, err := repP.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonS != jsonP {
+		t.Fatalf("reports differ between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", jsonS, jsonP)
+	}
+}
+
+// TestParallelExecutionReportsConfigErrors pins the error path through the
+// pool: a fault that cannot be scheduled must surface as an error, not hang
+// or get lost in a worker.
+func TestParallelExecutionReportsConfigErrors(t *testing.T) {
+	spec := Spec{
+		Name:      "bad-fault",
+		Protocols: []harness.Protocol{harness.ModifiedPaxos},
+		Faults:    []Fault{CrashRestart{Proc: 99, Crash: AtDeltas(1)}},
+		Seeds:     2,
+		Workers:   4,
+	}
+	if _, err := Run(spec); err == nil {
+		t.Fatal("out-of-range fault should error")
+	}
+}

@@ -37,12 +37,13 @@
 package repro
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core/consensus"
-	"repro/internal/core/modpaxos"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/protocol"
 )
 
 // Protocol selects a consensus algorithm. See the constants for the four
@@ -104,7 +105,14 @@ func Protocols() []Protocol { return harness.Protocols() }
 // ε + 3τ + 5δ with τ = max(2δ+ε, σ), for the given parameters (zero values
 // select the library defaults).
 func DecisionBound(delta, sigma, eps time.Duration, rho float64) (time.Duration, error) {
-	return modpaxos.DecisionBound(modpaxos.Config{Delta: delta, Sigma: sigma, Eps: eps, Rho: rho})
+	d, err := protocol.Get(string(ModifiedPaxos))
+	if err != nil {
+		return 0, err
+	}
+	if d.DecisionBound == nil {
+		return 0, fmt.Errorf("repro: %s declares no decision bound", ModifiedPaxos)
+	}
+	return d.DecisionBound(protocol.Params{Delta: delta, Sigma: sigma, Eps: eps, Rho: rho})
 }
 
 // ExperimentParams are the knobs shared by the experiment generators.
