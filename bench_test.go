@@ -272,3 +272,34 @@ func benchSweepWorkers(b *testing.B, workers int) {
 
 func BenchmarkScenarioSweepSerial(b *testing.B)   { benchSweepWorkers(b, 1) }
 func BenchmarkScenarioSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }
+
+// BenchmarkGrid measures the grid engine end to end on a 2×2 (n × δ)
+// cross-product of a canned scenario — the unit of work `scenario sweep`
+// executes per multi-axis invocation, with the worker pool spanning all
+// cells. The perf trajectory of grid-level workloads starts here.
+func BenchmarkGrid(b *testing.B) {
+	spec, ok := scenario.Lookup("split-brain-until-TS")
+	if !ok {
+		b.Fatal("missing canned scenario")
+	}
+	spec.Seeds = 2
+	g := scenario.Grid{
+		Base: spec,
+		Axes: []scenario.Axis{
+			scenario.NAxis(3, 5),
+			scenario.DeltaAxis(5*time.Millisecond, 10*time.Millisecond),
+		},
+	}
+	var cells int
+	for i := 0; i < b.N; i++ {
+		rep, err := g.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed() {
+			b.Fatalf("grid violations: %d", rep.TotalViolations())
+		}
+		cells = len(rep.Cells)
+	}
+	b.ReportMetric(float64(cells), "cells")
+}

@@ -1,5 +1,8 @@
 // Command consensus-sim runs a single simulated consensus experiment and
-// prints its outcome, timing, and message accounting.
+// prints its outcome, timing, and message accounting. It is a thin shell
+// over the scenario engine: the flags assemble a one-seed scenario.Spec, so
+// a consensus-sim invocation measures exactly what `scenario run` and the
+// grid sweeps measure.
 //
 // Usage (any protocol name registered with internal/protocol is accepted,
 // including hidden ablation variants such as modpaxos-norule):
@@ -33,6 +36,7 @@ import (
 	"repro/internal/core/consensus"
 	"repro/internal/harness"
 	"repro/internal/protocol"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
@@ -79,40 +83,65 @@ func run(args []string) error {
 		return err
 	}
 
-	cfg := harness.Config{
-		Protocol: harness.Protocol(*proto),
-		N:        *n, Delta: *delta, TS: *ts, Rho: *rho,
-		Sigma: *sigma, Eps: *eps, Seed: *seed,
-		Attack: harness.AttackKind(*attack), AttackK: *k,
-		WorstCaseDelays: *worstCase, Prepared: *prepared,
-		Horizon: *horizon,
+	// The flags describe a one-seed scenario; the run itself goes through
+	// the same engine as `scenario run` and the grid sweeps.
+	spec := scenario.Spec{
+		Name:      "consensus-sim",
+		Protocols: []harness.Protocol{harness.Protocol(*proto)},
+		N:         *n, Delta: *delta, TS: *ts,
+		Sigma: *sigma, Eps: *eps,
+		StableFromStart: *ts == 0,
+		Clocks:          scenario.ClockProfile{Rho: *rho},
+		WorstCaseDelays: *worstCase,
+		Prepared:        *prepared,
+		Seeds:           1, BaseSeed: *seed,
+		Horizon:  *horizon,
+		KeepRuns: true,
 	}
+	switch harness.AttackKind(*attack) {
+	case harness.NoAttack:
+	case harness.ObsoleteBallots, harness.DeadCoordinators:
+		if *k > 0 {
+			spec.Adversary = scenario.AdversaryProfile{Attack: harness.AttackKind(*attack), K: *k}
+		}
+	default:
+		return fmt.Errorf("unknown attack %q", *attack)
+	}
+	var pol simnet.Policy
 	switch *policy {
 	case "dropall":
-		cfg.Policy = simnet.DropAll{}
+		pol = simnet.DropAll{}
 	case "chaos":
-		cfg.Policy = simnet.Chaos{DropProb: *dropProb}
+		pol = simnet.Chaos{DropProb: *dropProb}
 	case "sync":
-		cfg.Policy = simnet.Synchronous{}
+		pol = simnet.Synchronous{}
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
+	spec.Net = func(n int, delta, ts time.Duration) simnet.Policy { return pol }
 
 	restarts, err := parseRestarts(*restart)
 	if err != nil {
 		return err
 	}
-	cfg.Restarts = restarts
+	for _, r := range restarts {
+		f := scenario.CrashRestart{Proc: int(r.Proc), Crash: scenario.AtAbs(r.CrashAt)}
+		if r.RestartAt > 0 {
+			f.Restart = scenario.AtAbs(r.RestartAt)
+		}
+		spec.Faults = append(spec.Faults, f)
+	}
 
-	res, err := harness.Run(cfg)
+	rep, err := scenario.Run(spec)
 	if err != nil {
 		return err
 	}
-	report(cfg, res, *verbose)
-	if res.Violation != nil {
-		return fmt.Errorf("SAFETY VIOLATION: %w", res.Violation)
+	one := rep.Runs()[0]
+	report(one.Cfg, one.Res, *verbose)
+	if one.Res.Violation != nil {
+		return fmt.Errorf("SAFETY VIOLATION: %w", one.Res.Violation)
 	}
-	if !res.Decided {
+	if !one.Res.Decided {
 		return fmt.Errorf("cluster did not decide within %v", *horizon)
 	}
 	return nil

@@ -26,10 +26,21 @@ func TestRunWithAttackAndRestart(t *testing.T) {
 	}
 }
 
+func TestRunSynchronousPolicyDecidesBeforeTS(t *testing.T) {
+	// The sync policy lets the cluster decide before TS; routed through the
+	// scenario engine, the run must still succeed (the latency metric
+	// clamps to zero rather than failing any check).
+	err := run([]string{"-protocol", "modpaxos", "-n", "3", "-policy", "sync", "-ts", "1s", "-horizon", "10s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-protocol", "nope"},
 		{"-policy", "nope"},
+		{"-attack", "nope"},
 		{"-restart", "garbage"},
 		{"-restart", "1@nope:2ms"},
 		{"-restart", "x@1ms:2ms"},

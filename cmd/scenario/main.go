@@ -5,16 +5,24 @@
 //
 //	scenario list
 //	scenario run [-seeds N] [-n N] [-delta D] [-ts D] [-format text|json] <name>|all
-//	scenario sweep [-ns 5,9,17] [-seeds N] [-delta D] [-format text|csv|json] <name>|all
+//	scenario sweep [-axis name=v1,v2,...]... [-zip] [-ns 5,9,17] [-seeds N]
+//	               [-delta D] [-workers W] [-format text|csv|json] <name>|all
 //
 // `list` enumerates the canned scenarios and the registered protocols.
 // `run` executes a scenario across its protocol set and seed matrix and
 // prints the report; it exits non-zero if any invariant was violated, so a
-// scenario run doubles as a CI gate. `sweep` re-runs a scenario across
-// cluster sizes and prints the median latency after TS per protocol — the
-// O(δ) vs O(Nδ) shape at a glance; -format csv|json emits one row per
-// (scenario, N, protocol) cell for plotting. Runs are deterministic in the
-// flags.
+// scenario run doubles as a CI gate. `sweep` re-runs a scenario across a
+// multi-axis parameter grid (internal/scenario.Grid) and prints the median
+// latency after TS per protocol and cell — the O(δ) vs O(Nδ) shape at a
+// glance. Axes (any subset, crossed by default or paired with -zip):
+//
+//	-axis n=5,9,17 -axis delta=1ms,5ms,25ms -axis rho=0,0.01,0.1
+//	-axis ts=0,100ms,400ms -axis sigma=50ms,80ms -axis eps=1ms,5ms -axis k=0,2,8
+//
+// With no -axis the sweep defaults to n=5,9,17 (-ns is shorthand for the n
+// axis). -format csv|json emits one row per (cell, protocol) carrying the
+// cell's parameters, for plotting. Runs are deterministic in the flags,
+// whatever -workers is.
 package main
 
 import (
@@ -23,13 +31,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
-	"time"
 
 	"repro/internal/protocol"
 	"repro/internal/scenario"
-	"repro/internal/trace"
 )
 
 func main() {
@@ -162,29 +167,41 @@ func cmdRun(args []string, out io.Writer) error {
 	return nil
 }
 
-// sweepRow is one (scenario, N, protocol) cell of a sweep in
-// machine-readable form (-format csv|json), ready for plotting.
-type sweepRow struct {
-	Scenario            string        `json:"scenario"`
-	N                   int           `json:"n"`
-	Protocol            string        `json:"protocol"`
-	Seeds               int           `json:"seeds"`
-	Decided             int           `json:"decided"`
-	Delta               time.Duration `json:"delta_ns"`
-	LatencyMedian       time.Duration `json:"latency_median_ns"`
-	LatencyMedianDeltas float64       `json:"latency_median_deltas"`
-	LatencyMax          time.Duration `json:"latency_max_ns"`
-	MessagesMedian      int64         `json:"messages_median"`
-	Violations          int           `json:"violations"`
+// axisFlags accumulates repeated -axis flags into parsed grid axes.
+type axisFlags struct {
+	axes []scenario.Axis
+}
+
+// String implements flag.Value.
+func (a *axisFlags) String() string {
+	names := make([]string, len(a.axes))
+	for i, ax := range a.axes {
+		names[i] = ax.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// Set implements flag.Value.
+func (a *axisFlags) Set(s string) error {
+	ax, err := scenario.ParseAxis(s)
+	if err != nil {
+		return err
+	}
+	a.axes = append(a.axes, ax)
+	return nil
 }
 
 func cmdSweep(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scenario sweep", flag.ContinueOnError)
+	var axes axisFlags
+	fs.Var(&axes, "axis", "swept axis \"name=v1,v2,...\" (repeatable; names: "+strings.Join(scenario.AxisNames(), ", ")+")")
 	var (
-		ns     = fs.String("ns", "5,9,17", "comma-separated cluster sizes")
-		seeds  = fs.Int("seeds", 3, "seeds per protocol per size")
-		delta  = fs.Duration("delta", 0, "δ override (0 = scenario default)")
-		format = fs.String("format", "text", "output format: text, csv, or json")
+		ns      = fs.String("ns", "", "shorthand for -axis n=... (default n=5,9,17 when no axis is given)")
+		zip     = fs.Bool("zip", false, "pair the axes element-wise instead of crossing them")
+		seeds   = fs.Int("seeds", 3, "seeds per protocol per cell")
+		delta   = fs.Duration("delta", 0, "base δ override (0 = scenario default; use -axis delta=... to sweep it)")
+		workers = fs.Int("workers", 0, "worker pool size shared across all cells (0 = GOMAXPROCS)")
+		format  = fs.String("format", "text", "output format: text, csv, or json")
 	)
 	name, err := parseWithName(fs, args, "scenario sweep [flags] <name>|all")
 	if err != nil {
@@ -193,86 +210,49 @@ func cmdSweep(args []string, out io.Writer) error {
 	if *format != "text" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want text, csv, or json)", *format)
 	}
-	sizes, err := parseInts(*ns)
-	if err != nil {
-		return err
+	gridAxes := axes.axes
+	if *ns != "" {
+		ax, err := scenario.ParseAxis("n=" + *ns)
+		if err != nil {
+			return err
+		}
+		gridAxes = append([]scenario.Axis{ax}, gridAxes...)
+	}
+	if len(gridAxes) == 0 {
+		ax, _ := scenario.ParseAxis("n=5,9,17")
+		gridAxes = []scenario.Axis{ax}
 	}
 	specs, err := resolve(name)
 	if err != nil {
 		return err
 	}
 	violated := 0
-	var rows []sweepRow
+	var reports []*scenario.GridReport
 	for _, spec := range specs {
 		spec.Seeds = *seeds
 		if *delta > 0 {
 			spec.Delta = *delta
 		}
-		if *format == "text" {
-			fmt.Fprintf(out, "sweep %s — median latency after TS (in δ) vs N\n", spec.Name)
+		rep, err := scenario.Grid{Base: spec, Axes: gridAxes, Zip: *zip, Workers: *workers}.Run()
+		if err != nil {
+			return err
 		}
-		var header bool
-		for _, size := range sizes {
-			s := spec
-			s.N = size
-			rep, err := scenario.Run(s)
-			if err != nil {
-				return err
-			}
-			violated += len(rep.Violations)
-			if *format != "text" {
-				for _, pr := range rep.Protocols {
-					nViol := 0
-					for _, v := range rep.Violations {
-						if v.Protocol == pr.Protocol {
-							nViol++
-						}
-					}
-					rows = append(rows, sweepRow{
-						Scenario: spec.Name, N: size, Protocol: string(pr.Protocol),
-						Seeds: pr.Seeds, Decided: pr.Decided, Delta: rep.Delta,
-						LatencyMedian:       pr.Latency.Median,
-						LatencyMedianDeltas: float64(pr.Latency.Median) / float64(rep.Delta),
-						LatencyMax:          pr.Latency.Max,
-						MessagesMedian:      int64(pr.Messages.Median),
-						Violations:          nViol,
-					})
-				}
-				continue
-			}
-			if !header {
-				fmt.Fprintf(out, "%-6s", "N")
-				for _, pr := range rep.Protocols {
-					fmt.Fprintf(out, "%-14s", pr.Protocol)
-				}
-				fmt.Fprintln(out)
-				header = true
-			}
-			fmt.Fprintf(out, "%-6d", size)
-			for _, pr := range rep.Protocols {
-				cell := trace.InDelta(pr.Latency.Median, rep.Delta)
-				if len(rep.Violations) > 0 {
-					cell += "!"
-				}
-				fmt.Fprintf(out, "%-14s", cell)
-			}
-			fmt.Fprintln(out)
-		}
+		violated += rep.TotalViolations()
+		reports = append(reports, rep)
 		if *format == "text" {
-			fmt.Fprintln(out)
+			fmt.Fprintln(out, rep.Text())
 		}
 	}
 	switch *format {
 	case "csv":
-		fmt.Fprintln(out, "scenario,n,protocol,seeds,decided,delta_ns,latency_median_ns,latency_median_deltas,latency_max_ns,messages_median,violations")
-		for _, r := range rows {
-			fmt.Fprintf(out, "%s,%d,%s,%d,%d,%d,%d,%.3f,%d,%d,%d\n",
-				r.Scenario, r.N, r.Protocol, r.Seeds, r.Decided, int64(r.Delta),
-				int64(r.LatencyMedian), r.LatencyMedianDeltas, int64(r.LatencyMax),
-				r.MessagesMedian, r.Violations)
+		fmt.Fprintln(out, scenario.GridCSVHeader)
+		for _, rep := range reports {
+			for _, row := range rep.CSVRows() {
+				fmt.Fprintln(out, row)
+			}
 		}
 	case "json":
-		enc, err := json.MarshalIndent(rows, "", "  ")
+		enc, err := json.MarshalIndent(reports, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -282,23 +262,4 @@ func cmdSweep(args []string, out io.Writer) error {
 		return fmt.Errorf("%d invariant violation(s) during sweep", violated)
 	}
 	return nil
-}
-
-func parseInts(csv string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(csv, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad cluster size %q", part)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no cluster sizes given")
-	}
-	return out, nil
 }

@@ -84,8 +84,57 @@ func TestSweepSmallest(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v\n%s", err, out)
 	}
-	if !strings.Contains(out, "sweep baseline-synchronous") || !strings.Contains(out, "modpaxos") {
+	if !strings.Contains(out, "grid baseline-synchronous") || !strings.Contains(out, "modpaxos") {
 		t.Errorf("unexpected sweep output:\n%s", out)
+	}
+}
+
+func TestSweepMultiAxis(t *testing.T) {
+	// The acceptance shape: n, delta, and rho swept in one invocation,
+	// rendered from the shared GridReport.
+	out, err := capture(t, "sweep",
+		"-axis", "n=3,5", "-axis", "delta=5ms,10ms", "-axis", "rho=0,0.05",
+		"-seeds", "1", "-format", "csv", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 2×2×2 cells × 4 visible protocols = 32 rows plus the header.
+	if len(lines) != 1+32 {
+		t.Fatalf("got %d CSV rows, want 32:\n%s", len(lines)-1, out)
+	}
+	// Every swept combination appears in the parameter columns.
+	seen := make(map[string]bool)
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		seen[f[1]+"/"+f[2]+"/"+f[4]] = true
+	}
+	for _, want := range []string{"3/5000000/0", "5/10000000/0.05"} {
+		if !seen[want] {
+			t.Errorf("missing grid cell n/delta/rho=%s in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepZipRequiresEqualAxes(t *testing.T) {
+	if _, err := capture(t, "sweep", "-axis", "n=3,5", "-axis", "delta=5ms", "-zip",
+		"-seeds", "1", "baseline-synchronous"); err == nil {
+		t.Fatal("zipped axes of unequal length should fail")
+	}
+	out, err := capture(t, "sweep", "-axis", "n=3,5", "-axis", "delta=5ms,10ms", "-zip",
+		"-seeds", "1", "-format", "csv", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// 2 zipped cells × 4 protocols + header.
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 1+8 {
+		t.Fatalf("zip should produce 8 rows:\n%s", out)
+	}
+}
+
+func TestSweepRejectsBadAxis(t *testing.T) {
+	if _, err := capture(t, "sweep", "-axis", "warp=9", "baseline-synchronous"); err == nil {
+		t.Fatal("unknown axis should fail")
 	}
 }
 
@@ -117,7 +166,7 @@ func TestSweepCSV(t *testing.T) {
 		t.Fatalf("%v\n%s", err, out)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if !strings.HasPrefix(lines[0], "scenario,n,protocol,") {
+	if !strings.HasPrefix(lines[0], "scenario,n,delta_ns,ts_ns,rho,") {
 		t.Fatalf("missing CSV header:\n%s", out)
 	}
 	// One row per (protocol) cell at N=3 for each visible protocol.
@@ -125,8 +174,8 @@ func TestSweepCSV(t *testing.T) {
 		t.Fatalf("got %d CSV rows, want 4:\n%s", len(lines)-1, out)
 	}
 	for _, line := range lines[1:] {
-		if fields := strings.Split(line, ","); len(fields) != 11 {
-			t.Fatalf("row has %d fields, want 11: %q", len(fields), line)
+		if fields := strings.Split(line, ","); len(fields) != 17 {
+			t.Fatalf("row has %d fields, want 17: %q", len(fields), line)
 		}
 	}
 }
@@ -136,15 +185,23 @@ func TestSweepJSON(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v\n%s", err, out)
 	}
-	var rows []map[string]any
-	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+	var grids []struct {
+		Name  string   `json:"name"`
+		Axes  []string `json:"axes"`
+		Cells []struct {
+			Report struct {
+				Protocols []map[string]any `json:"protocols"`
+			} `json:"report"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(out), &grids); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, out)
 	}
-	if len(rows) != 4 {
-		t.Fatalf("got %d JSON rows, want 4", len(rows))
+	if len(grids) != 1 || grids[0].Name != "baseline-synchronous" {
+		t.Fatalf("unexpected grid list: %+v", grids)
 	}
-	if rows[0]["scenario"] != "baseline-synchronous" || rows[0]["n"] != float64(3) {
-		t.Fatalf("unexpected first row: %+v", rows[0])
+	if len(grids[0].Cells) != 1 || len(grids[0].Cells[0].Report.Protocols) != 4 {
+		t.Fatalf("want 1 cell with 4 protocol reports: %+v", grids[0])
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/protocol"
+	"repro/internal/scenario"
 )
 
 // Params are the common experiment knobs. The zero value is not usable;
@@ -40,9 +41,102 @@ func modpaxosBound(delta, sigma time.Duration, rho float64) (time.Duration, erro
 	return d.DecisionBound(protocol.Params{Delta: delta, Sigma: sigma, Rho: rho})
 }
 
-// run executes one harness config and fails loudly: experiments are
-// generators, and a run that cannot decide or violates safety must never be
-// silently folded into a table.
+// base is the spec every grid-backed table starts from: the experiment's
+// shared parameters, named after the table.
+func (p Params) base(name string) scenario.Spec {
+	return scenario.Spec{
+		Name: name, Delta: p.Delta, TS: p.TS, Seeds: p.Seeds,
+		Clocks: scenario.ClockProfile{Rho: p.Rho},
+	}
+}
+
+// sweepTable fills t.Rows from a single-protocol sweep over ax: one row per
+// cell, labelled by its axis value, the remaining columns rendered by cell.
+// tweak (optional) adjusts the base spec first (seeds, horizon, raw-run
+// retention).
+func (p Params) sweepTable(t *Table, proto harness.Protocol, tweak func(*scenario.Spec), ax scenario.Axis, cell func(scenario.GridCell) []string) error {
+	base := p.base(t.ID)
+	base.Protocols = []harness.Protocol{proto}
+	if tweak != nil {
+		tweak(&base)
+	}
+	rep, err := runGrid(scenario.Grid{Base: base, Axes: []scenario.Axis{ax}})
+	if err != nil {
+		return err
+	}
+	for _, c := range rep.Cells {
+		t.Rows = append(t.Rows, append([]string{c.Coords[0].Value}, cell(c)...))
+	}
+	return nil
+}
+
+// axisOf builds a labelled axis from values and a per-value spec setter —
+// for the axes the tables state in experiment-specific units (multiples of
+// δ, percentages) rather than raw parameter values.
+func axisOf[T any](name string, vals []T, label func(T) string, set func(*scenario.Spec, T)) scenario.Axis {
+	ax := scenario.Axis{Name: name}
+	for _, v := range vals {
+		v := v
+		ax.Values = append(ax.Values, scenario.AxisValue{
+			Label: label(v),
+			Apply: func(s *scenario.Spec) { set(s, v) },
+		})
+	}
+	return ax
+}
+
+// runGrid executes a table's grid and fails loudly: experiments are
+// generators, and a run that cannot decide or violates an invariant must
+// never be silently folded into a table.
+func runGrid(g scenario.Grid) (*scenario.GridReport, error) {
+	rep, err := g.Run()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range rep.Cells {
+		for _, v := range c.Report.Violations {
+			return nil, fmt.Errorf("experiments: %s cell %v: %s seed %d violates %s: %s",
+				g.Base.Name, c.Coords, v.Protocol, v.Seed, v.Check, v.Detail)
+		}
+	}
+	return rep, nil
+}
+
+// column pins one protocol (and optionally its adversary or clocks) for a
+// table column — the axis comparison tables sweep beside a model parameter.
+func column(label string, proto harness.Protocol, tweak func(*scenario.Spec)) scenario.AxisValue {
+	return scenario.AxisValue{Label: label, Apply: func(s *scenario.Spec) {
+		s.Protocols = []harness.Protocol{proto}
+		if tweak != nil {
+			tweak(s)
+		}
+	}}
+}
+
+// tableRows folds a grid whose last axis is the table's column axis into
+// rows: one row per leading-axis value (labelled by it), one rendered cell
+// per column value.
+func tableRows(rep *scenario.GridReport, cols int, cell func(scenario.GridCell) string) [][]string {
+	var rows [][]string
+	for i := 0; i+cols <= len(rep.Cells); i += cols {
+		row := []string{rep.Cells[i].Coords[0].Value}
+		for j := 0; j < cols; j++ {
+			row = append(row, cell(rep.Cells[i+j]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// only returns the report of a single-protocol cell.
+func only(c scenario.GridCell) scenario.ProtocolReport { return c.Report.Protocols[0] }
+
+// medianCell renders a single-protocol cell's median latency in units of δ.
+func medianCell(c scenario.GridCell) string { return inDelta(only(c).Latency.Median, c.Report.Delta) }
+
+// run executes one harness config and fails loudly — the single-run escape
+// hatch the trace-walking figures use (they need one run's Collector, which
+// aggregated grid cells do not carry).
 func run(cfg harness.Config) (harness.Result, error) {
 	res, err := harness.Run(cfg)
 	if err != nil {
@@ -56,21 +150,6 @@ func run(cfg harness.Config) (harness.Result, error) {
 			cfg.Protocol, cfg.N, cfg.Seed, cfg.Attack, cfg.AttackK)
 	}
 	return res, nil
-}
-
-// latencies collects LatencyAfterTS over p.Seeds seeds of the base config.
-func latencies(p Params, base harness.Config) ([]time.Duration, error) {
-	out := make([]time.Duration, 0, p.Seeds)
-	for s := 0; s < p.Seeds; s++ {
-		cfg := base
-		cfg.Seed = int64(1000 + s)
-		res, err := run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res.LatencyAfterTS)
-	}
-	return out, nil
 }
 
 // Table1LatencyVsN is E1: decision latency after TS as the cluster grows.
@@ -88,24 +167,24 @@ func Table1LatencyVsN(p Params) (Table, error) {
 		Notes: fmt.Sprintf("δ=%v TS=%v seeds=%d; attack strength scales with N: ⌈N/2⌉−1 obsolete ballots / dead coordinators",
 			p.Delta, p.TS, p.Seeds),
 	}
-	for _, n := range []int{3, 5, 9, 17, 33} {
-		k := (n+1)/2 - 1
-		row := []string{fmt.Sprintf("%d", n)}
-		cells := []harness.Config{
-			{Protocol: harness.ModifiedPaxos, N: n, Delta: p.Delta, TS: p.TS, Rho: p.Rho},
-			{Protocol: harness.TraditionalPaxos, N: n, Delta: p.Delta, TS: p.TS, Attack: harness.ObsoleteBallots, AttackK: k},
-			{Protocol: harness.RoundBased, N: n, Delta: p.Delta, TS: p.TS, Rho: p.Rho, Attack: harness.DeadCoordinators, AttackK: k},
-			{Protocol: harness.ModifiedBConsensus, N: n, Delta: p.Delta, TS: p.TS, Rho: p.Rho},
-		}
-		for _, cfg := range cells {
-			lats, err := latencies(p, cfg)
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, inDelta(medianOf(lats), p.Delta))
-		}
-		t.Rows = append(t.Rows, row)
+	// Attack strength 0 means "scale with N" (⌈N/2⌉−1, the paper's
+	// maximum), so one column definition serves every cluster size.
+	algos := scenario.CustomAxis("algorithm",
+		column("mod-paxos", harness.ModifiedPaxos, nil),
+		column("trad-paxos", harness.TraditionalPaxos, func(s *scenario.Spec) {
+			s.Clocks.Rho = 0
+			s.Adversary = scenario.AdversaryProfile{Attack: harness.ObsoleteBallots}
+		}),
+		column("round-based", harness.RoundBased, func(s *scenario.Spec) {
+			s.Adversary = scenario.AdversaryProfile{Attack: harness.DeadCoordinators}
+		}),
+		column("mod-b-consensus", harness.ModifiedBConsensus, nil),
+	)
+	rep, err := runGrid(scenario.Grid{Base: p.base("Table 1"), Axes: []scenario.Axis{scenario.NAxis(3, 5, 9, 17, 33), algos}})
+	if err != nil {
+		return Table{}, err
 	}
+	t.Rows = tableRows(rep, len(algos.Values), medianCell)
 	return t, nil
 }
 
@@ -113,37 +192,21 @@ func Table1LatencyVsN(p Params) (Table, error) {
 // constant below the paper's ε+3τ+5δ bound.
 func Table2LatencyVsDelta(p Params) (Table, error) {
 	t := Table{
-		ID:    "Table 2",
-		Title: "modified-Paxos latency after TS vs δ",
-		Claim: "latency is O(δ): it scales linearly in δ and stays below the ε+3τ+5δ bound (≈18δ at defaults, ≈17δ for σ≈4δ, ε≪δ) (§4)",
-		Columns: []string{
-			"δ", "median latency", "median (in δ)", "max (in δ)", "paper bound (in δ)",
-		},
-		Notes: fmt.Sprintf("N=5 TS=%v seeds=%d rho=%.2f", p.TS, p.Seeds, p.Rho),
+		ID:      "Table 2",
+		Title:   "modified-Paxos latency after TS vs δ",
+		Claim:   "latency is O(δ): it scales linearly in δ and stays below the ε+3τ+5δ bound (≈18δ at defaults, ≈17δ for σ≈4δ, ε≪δ) (§4)",
+		Columns: []string{"δ", "median latency", "median (in δ)", "max (in δ)", "paper bound (in δ)"},
+		Notes:   fmt.Sprintf("N=5 TS=%v seeds=%d rho=%.2f", p.TS, p.Seeds, p.Rho),
 	}
-	for _, delta := range []time.Duration{
-		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
-		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
-	} {
-		lats, err := latencies(p, harness.Config{
-			Protocol: harness.ModifiedPaxos, N: 5, Delta: delta, TS: p.TS, Rho: p.Rho,
-		})
-		if err != nil {
-			return Table{}, err
-		}
-		bound, err := modpaxosBound(delta, 0, p.Rho)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, []string{
-			delta.String(),
-			medianOf(lats).String(),
-			inDelta(medianOf(lats), delta),
-			inDelta(maxOf(lats), delta),
-			inDelta(bound, delta),
-		})
-	}
-	return t, nil
+	err := p.sweepTable(&t, harness.ModifiedPaxos, nil, scenario.DeltaAxis(
+		time.Millisecond, 2*time.Millisecond, 5*time.Millisecond,
+		10*time.Millisecond, 20*time.Millisecond, 50*time.Millisecond,
+	), func(c scenario.GridCell) []string {
+		pr, delta := only(c), c.Report.Delta
+		return []string{pr.Latency.Median.String(), inDelta(pr.Latency.Median, delta),
+			inDelta(pr.Latency.Max, delta), inDelta(pr.Bound, delta)}
+	})
+	return t, err
 }
 
 // Table3RestartRecovery is E3: a process restarting after TS decides within
@@ -157,35 +220,33 @@ func Table3RestartRecovery(p Params) (Table, error) {
 		Notes: fmt.Sprintf("N=5 δ=%v TS=%v seeds=%d; process 4 crashes at TS/2 and restarts at the offset; decision gossip every 2δ",
 			p.Delta, p.TS, p.Seeds),
 	}
-	for _, mult := range []int{2, 10, 30, 100} {
-		offset := time.Duration(mult) * p.Delta
-		var recs []time.Duration
-		for s := 0; s < p.Seeds; s++ {
-			res, err := run(harness.Config{
-				Protocol: harness.ModifiedPaxos, N: 5, Delta: p.Delta, TS: p.TS, Rho: p.Rho,
-				Seed: int64(2000 + s),
-				Restarts: []harness.Restart{
-					{Proc: 4, CrashAt: p.TS / 2, RestartAt: p.TS + offset},
-				},
-				Horizon: p.TS + offset + 100*p.Delta,
-			})
-			if err != nil {
-				return Table{}, err
-			}
-			rec, ok := res.RestartRecovery[4]
-			if !ok {
-				return Table{}, fmt.Errorf("experiments: no recovery recorded (seed %d offset %v)", s, offset)
-			}
-			recs = append(recs, rec)
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d·δ", mult),
-			medianOf(recs).String(),
-			inDelta(medianOf(recs), p.Delta),
-			inDelta(maxOf(recs), p.Delta),
+	offsets := axisOf("restart-offset", []int{2, 10, 30, 100},
+		func(m int) string { return fmt.Sprintf("%d·δ", m) },
+		func(s *scenario.Spec, m int) {
+			s.Faults = []scenario.Fault{scenario.CrashRestart{
+				Proc: 4, Crash: scenario.AtAbs(p.TS / 2), Restart: scenario.AfterTS(float64(m)),
+			}}
+			s.Horizon = p.TS + time.Duration(m)*p.Delta + 100*p.Delta
 		})
+	var missing error
+	err := p.sweepTable(&t, harness.ModifiedPaxos,
+		func(s *scenario.Spec) { s.BaseSeed = 2000; s.KeepRuns = true }, offsets,
+		func(c scenario.GridCell) []string {
+			var recs []time.Duration
+			for _, r := range c.Report.Runs() {
+				rec, ok := r.Res.RestartRecovery[4]
+				if !ok {
+					missing = fmt.Errorf("experiments: no recovery recorded (seed %d offset %s)", r.Seed, c.Coords[0].Value)
+					return nil
+				}
+				recs = append(recs, rec)
+			}
+			return []string{medianOf(recs).String(), inDelta(medianOf(recs), p.Delta), inDelta(maxOf(recs), p.Delta)}
+		})
+	if err == nil {
+		err = missing
 	}
-	return t, nil
+	return t, err
 }
 
 // Table4EpsilonTradeoff is E4: the ε-heartbeat trades stable-period message
@@ -199,40 +260,30 @@ func Table4EpsilonTradeoff(p Params) (Table, error) {
 		Columns: []string{"ε", "heartbeats/process/δ before TS", "median latency after TS (in δ)"},
 		Notes:   fmt.Sprintf("N=5 δ=%v TS=%v seeds=%d; pre-TS policy drops everything, so all pre-TS sends are heartbeats", p.Delta, p.TS, p.Seeds),
 	}
-	for _, frac := range []struct {
+	type frac struct {
 		label string
 		eps   time.Duration
-	}{
-		{"δ/10", p.Delta / 10},
-		{"δ/2", p.Delta / 2},
-		{"δ", p.Delta},
-		{"2δ", 2 * p.Delta},
-		{"4δ", 4 * p.Delta},
-	} {
-		var lats []time.Duration
-		var preRate float64
-		for s := 0; s < p.Seeds; s++ {
-			res, err := run(harness.Config{
-				Protocol: harness.ModifiedPaxos, N: 5, Delta: p.Delta, TS: p.TS, Rho: p.Rho,
-				Eps: frac.eps, Seed: int64(3000 + s),
-			})
-			if err != nil {
-				return Table{}, err
-			}
-			lats = append(lats, res.LatencyAfterTS)
-			// Messages dropped before TS are exactly the pre-TS sends
-			// under DropAll; normalize per process per δ.
-			preSends := res.Collector.TotalDropped()
-			preRate += float64(preSends) / 5 / (float64(p.TS) / float64(p.Delta))
-		}
-		preRate /= float64(p.Seeds)
-		t.Rows = append(t.Rows, []string{
-			frac.label,
-			fmt.Sprintf("%.1f", preRate),
-			inDelta(medianOf(lats), p.Delta),
-		})
 	}
-	return t, nil
+	eps := axisOf("eps", []frac{
+		{"δ/10", p.Delta / 10}, {"δ/2", p.Delta / 2}, {"δ", p.Delta},
+		{"2δ", 2 * p.Delta}, {"4δ", 4 * p.Delta},
+	},
+		func(f frac) string { return f.label },
+		func(s *scenario.Spec, f frac) { s.Eps = f.eps })
+	err := p.sweepTable(&t, harness.ModifiedPaxos,
+		func(s *scenario.Spec) { s.BaseSeed = 3000; s.KeepRuns = true }, eps,
+		func(c scenario.GridCell) []string {
+			// Messages dropped before TS are exactly the pre-TS sends under
+			// DropAll; normalize per process per δ, averaged over seeds.
+			var preRate float64
+			for _, r := range c.Report.Runs() {
+				preSends := r.Res.Collector.TotalDropped()
+				preRate += float64(preSends) / float64(c.Report.N) / (float64(p.TS) / float64(p.Delta))
+			}
+			preRate /= float64(c.Report.Seeds)
+			return []string{fmt.Sprintf("%.1f", preRate), medianCell(c)}
+		})
+	return t, err
 }
 
 // Figure1SessionConvergence is E5: the proof's session ladder. After TS the
@@ -288,20 +339,19 @@ func Table5ObsoleteBallots(p Params) (Table, error) {
 		Notes: fmt.Sprintf("N=17 δ=%v TS=%v seeds=%d; adaptive release against 15 victims; "+
 			"worst-case delivery (every message takes exactly δ) for both protocols", p.Delta, p.TS, p.Seeds),
 	}
-	for _, k := range []int{0, 2, 4, 6, 8} {
-		row := []string{fmt.Sprintf("%d", k)}
-		for _, proto := range []harness.Protocol{harness.TraditionalPaxos, harness.ModifiedPaxos} {
-			lats, err := latencies(p, harness.Config{
-				Protocol: proto, N: 17, Delta: p.Delta, TS: p.TS,
-				Attack: harness.ObsoleteBallots, AttackK: k, WorstCaseDelays: true,
-			})
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, inDelta(medianOf(lats), p.Delta))
-		}
-		t.Rows = append(t.Rows, row)
+	base := scenario.Spec{
+		Name: "Table 5", N: 17, Delta: p.Delta, TS: p.TS, Seeds: p.Seeds,
+		WorstCaseDelays: true,
+		Adversary:       scenario.AdversaryProfile{Attack: harness.ObsoleteBallots},
 	}
+	algos := scenario.CustomAxis("algorithm",
+		column("trad-paxos", harness.TraditionalPaxos, nil),
+		column("mod-paxos", harness.ModifiedPaxos, nil))
+	rep, err := runGrid(scenario.Grid{Base: base, Axes: []scenario.Axis{scenario.AttackKAxis(0, 2, 4, 6, 8), algos}})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = tableRows(rep, len(algos.Values), medianCell)
 	return t, nil
 }
 
@@ -317,28 +367,19 @@ func Table6StablePath(p Params) (Table, error) {
 		Columns: []string{"N", "median decision time (in δ)", "messages to decide (median)"},
 		Notes:   fmt.Sprintf("δ=%v seeds=%d; 'messages' counts phase-2 and decision traffic for one instance", p.Delta, p.Seeds),
 	}
-	for _, n := range []int{3, 5, 9, 17} {
-		var lats []time.Duration
-		var msgs []time.Duration // reuse duration median helper via cast
-		for s := 0; s < p.Seeds; s++ {
-			res, err := run(harness.Config{
-				Protocol: harness.ModifiedPaxos, N: n, Delta: p.Delta, Prepared: true,
-				Seed: int64(5000 + s), Horizon: time.Second,
-			})
-			if err != nil {
-				return Table{}, err
-			}
-			lats = append(lats, res.LastDecision)
-			count := res.MessagesByType["p2a"] + res.MessagesByType["p2b"] + res.MessagesByType["decided"]
+	err := p.sweepTable(&t, harness.ModifiedPaxos, func(s *scenario.Spec) {
+		s.StableFromStart, s.Prepared = true, true
+		s.Clocks.Rho = 0
+		s.BaseSeed, s.Horizon, s.KeepRuns = 5000, time.Second, true
+	}, scenario.NAxis(3, 5, 9, 17), func(c scenario.GridCell) []string {
+		var msgs []time.Duration // reuse the duration median helper via cast
+		for _, r := range c.Report.Runs() {
+			count := r.Res.MessagesByType["p2a"] + r.Res.MessagesByType["p2b"] + r.Res.MessagesByType["decided"]
 			msgs = append(msgs, time.Duration(count))
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", n),
-			inDelta(medianOf(lats), p.Delta),
-			fmt.Sprintf("%d", int64(medianOf(msgs))),
-		})
-	}
-	return t, nil
+		return []string{medianCell(c), fmt.Sprintf("%d", int64(medianOf(msgs)))}
+	})
+	return t, err
 }
 
 // Table7SigmaSweep is E8: latency tracks ε+3·max(2δ+ε, σ)+5δ as σ grows.
@@ -350,26 +391,14 @@ func Table7SigmaSweep(p Params) (Table, error) {
 		Columns: []string{"σ (in δ)", "median latency (in δ)", "max (in δ)", "bound (in δ)"},
 		Notes:   fmt.Sprintf("N=5 δ=%v TS=%v seeds=%d", p.Delta, p.TS, p.Seeds),
 	}
-	for _, mult := range []float64{4.3, 6, 8, 12} {
-		sigma := time.Duration(mult * float64(p.Delta))
-		lats, err := latencies(p, harness.Config{
-			Protocol: harness.ModifiedPaxos, N: 5, Delta: p.Delta, TS: p.TS, Rho: p.Rho, Sigma: sigma,
-		})
-		if err != nil {
-			return Table{}, err
-		}
-		bound, err := modpaxosBound(p.Delta, sigma, p.Rho)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.1fδ", mult),
-			inDelta(medianOf(lats), p.Delta),
-			inDelta(maxOf(lats), p.Delta),
-			inDelta(bound, p.Delta),
-		})
-	}
-	return t, nil
+	sigmas := axisOf("sigma", []float64{4.3, 6, 8, 12},
+		func(m float64) string { return fmt.Sprintf("%.1fδ", m) },
+		func(s *scenario.Spec, m float64) { s.Sigma = time.Duration(m * float64(p.Delta)) })
+	err := p.sweepTable(&t, harness.ModifiedPaxos, nil, sigmas, func(c scenario.GridCell) []string {
+		pr := only(c)
+		return []string{inDelta(pr.Latency.Median, p.Delta), inDelta(pr.Latency.Max, p.Delta), inDelta(pr.Bound, p.Delta)}
+	})
+	return t, err
 }
 
 // Table8BConsensus is E9: the modified B-Consensus decides in O(δ) after
@@ -383,20 +412,11 @@ func Table8BConsensus(p Params) (Table, error) {
 		Columns: []string{"N", "median latency (in δ)", "max (in δ)"},
 		Notes:   fmt.Sprintf("δ=%v TS=%v seeds=%d; oracle hold-back 2δ", p.Delta, p.TS, p.Seeds),
 	}
-	for _, n := range []int{3, 5, 9, 17} {
-		lats, err := latencies(p, harness.Config{
-			Protocol: harness.ModifiedBConsensus, N: n, Delta: p.Delta, TS: p.TS, Rho: p.Rho,
+	err := p.sweepTable(&t, harness.ModifiedBConsensus, nil, scenario.NAxis(3, 5, 9, 17),
+		func(c scenario.GridCell) []string {
+			return []string{inDelta(only(c).Latency.Median, p.Delta), inDelta(only(c).Latency.Max, p.Delta)}
 		})
-		if err != nil {
-			return Table{}, err
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", n),
-			inDelta(medianOf(lats), p.Delta),
-			inDelta(maxOf(lats), p.Delta),
-		})
-	}
-	return t, nil
+	return t, err
 }
 
 // Table9ClockDrift is E10: robustness of the bound as ρ grows (σ must grow
@@ -409,27 +429,15 @@ func Table9ClockDrift(p Params) (Table, error) {
 		Columns: []string{"ρ", "σ used (in δ)", "median latency (in δ)", "bound (in δ)"},
 		Notes:   fmt.Sprintf("N=5 δ=%v TS=%v seeds=%d; σ at its per-ρ default", p.Delta, p.TS, p.Seeds),
 	}
-	for _, rho := range []float64{0, 0.01, 0.05, 0.10} {
-		lats, err := latencies(p, harness.Config{
-			Protocol: harness.ModifiedPaxos, N: 5, Delta: p.Delta, TS: p.TS, Rho: rho,
-		})
-		if err != nil {
-			return Table{}, err
-		}
-		bound, err := modpaxosBound(p.Delta, 0, rho)
-		if err != nil {
-			return Table{}, err
-		}
-		// Recover the default σ the config picked for this ρ.
-		sigma := defaultSigma(p.Delta, rho)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0f%%", rho*100),
-			inDelta(sigma, p.Delta),
-			inDelta(medianOf(lats), p.Delta),
-			inDelta(bound, p.Delta),
-		})
-	}
-	return t, nil
+	rhos := axisOf("rho", []float64{0, 0.01, 0.05, 0.10},
+		func(r float64) string { return fmt.Sprintf("%.0f%%", r*100) },
+		func(s *scenario.Spec, r float64) { s.Clocks.Rho = r })
+	err := p.sweepTable(&t, harness.ModifiedPaxos, nil, rhos, func(c scenario.GridCell) []string {
+		// Recover the default σ the config picked for this cell's ρ.
+		return []string{inDelta(defaultSigma(p.Delta, c.Params.Rho), p.Delta),
+			inDelta(only(c).Latency.Median, p.Delta), inDelta(only(c).Bound, p.Delta)}
+	})
+	return t, err
 }
 
 // Figure2OracleRounds traces one modified-B-Consensus run: the round
@@ -497,32 +505,27 @@ func Table10EntryRuleAblation(p Params) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	// Both arms run through the ordinary harness: the ablated algorithm is
-	// just another registered protocol ("modpaxos-norule", the hidden
-	// variant shipped by protocol/all), and each descriptor's Obsolete hook
-	// mounts the strongest attack its rules allow — session-capped for the
-	// real algorithm, adaptive high-session release for the ablated one.
-	for _, k := range []int{0, 2, 4, 8} {
-		row := []string{fmt.Sprintf("%d", k)}
-		for _, proto := range []harness.Protocol{harness.ModifiedPaxos, "modpaxos-norule"} {
-			var lats []time.Duration
-			for s := 0; s < p.Seeds; s++ {
-				res, err := run(harness.Config{
-					Protocol: proto, N: 5, Delta: p.Delta, TS: p.TS, Rho: p.Rho,
-					Attack: harness.ObsoleteBallots, AttackK: k,
-					WorstCaseDelays: true,
-					Seed:            int64(7000 + s),
-					Horizon:         5 * time.Minute,
-				})
-				if err != nil {
-					return Table{}, err
-				}
-				lats = append(lats, res.LatencyAfterTS)
-			}
-			row = append(row, inDelta(medianOf(lats), p.Delta))
-		}
-		row = append(row, inDelta(bound, p.Delta))
-		t.Rows = append(t.Rows, row)
+	// Both arms run through the ordinary scenario engine: the ablated
+	// algorithm is just another registered protocol ("modpaxos-norule", the
+	// hidden variant shipped by protocol/all), and each descriptor's
+	// Obsolete hook mounts the strongest attack its rules allow —
+	// session-capped for the real algorithm, adaptive high-session release
+	// for the ablated one.
+	base := p.base("Table 10")
+	base.BaseSeed = 7000
+	base.WorstCaseDelays = true
+	base.Horizon = 5 * time.Minute
+	base.Adversary = scenario.AdversaryProfile{Attack: harness.ObsoleteBallots}
+	algos := scenario.CustomAxis("algorithm",
+		column("rule-enabled", harness.ModifiedPaxos, nil),
+		column("rule-disabled", "modpaxos-norule", nil))
+	rep, err := runGrid(scenario.Grid{Base: base, Axes: []scenario.Axis{scenario.AttackKAxis(0, 2, 4, 8), algos}})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Rows = tableRows(rep, len(algos.Values), medianCell)
+	for i := range t.Rows {
+		t.Rows[i] = append(t.Rows[i], inDelta(bound, p.Delta))
 	}
 	return t, nil
 }
@@ -541,22 +544,19 @@ func Table11MessageComplexity(p Params) (Table, error) {
 		Columns: []string{"N", "mod-paxos", "trad-paxos", "round-based", "mod-b-consensus"},
 		Notes:   fmt.Sprintf("δ=%v TS=%v seeds=%d, no attack; counts include pre-TS sends", p.Delta, p.TS, p.Seeds),
 	}
-	for _, n := range []int{3, 5, 9, 17} {
-		row := []string{fmt.Sprintf("%d", n)}
-		for _, proto := range []harness.Protocol{
-			harness.ModifiedPaxos, harness.TraditionalPaxos, harness.RoundBased, harness.ModifiedBConsensus,
-		} {
-			var counts []time.Duration // reuse the duration median helper
-			for s := 0; s < p.Seeds; s++ {
-				res, err := run(harness.Config{
-					Protocol: proto, N: n, Delta: p.Delta, TS: p.TS, Rho: p.Rho, Seed: int64(8000 + s),
-				})
-				if err != nil {
-					return Table{}, err
-				}
-				counts = append(counts, time.Duration(res.Messages))
-			}
-			row = append(row, fmt.Sprintf("%d", int64(medianOf(counts))))
+	base := p.base("Table 11")
+	base.BaseSeed = 8000
+	base.Protocols = []harness.Protocol{
+		harness.ModifiedPaxos, harness.TraditionalPaxos, harness.RoundBased, harness.ModifiedBConsensus,
+	}
+	rep, err := runGrid(scenario.Grid{Base: base, Axes: []scenario.Axis{scenario.NAxis(3, 5, 9, 17)}})
+	if err != nil {
+		return Table{}, err
+	}
+	for _, c := range rep.Cells {
+		row := []string{c.Coords[0].Value}
+		for _, pr := range c.Report.Protocols {
+			row = append(row, fmt.Sprintf("%d", int64(pr.Messages.Median)))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -140,8 +140,11 @@ type Result struct {
 	// processes that were up at the end.
 	FirstDecision time.Duration
 	LastDecision  time.Duration
-	// LatencyAfterTS is LastDecision − TS (the paper's headline metric),
-	// or LastDecision for runs with TS beyond the last decision.
+	// LatencyAfterTS is LastDecision − TS, clamped at zero (the paper's
+	// headline metric; a run that decides before stabilization meets
+	// "decide by TS + bound" trivially). The clamp matches
+	// scenario.RunResult.LatencyAfterTS, so every caller reports the same
+	// headline number.
 	LatencyAfterTS time.Duration
 	// Messages is the total number of messages handed to the network up
 	// to the last decision... (total for the run; see MessagesByType).
@@ -278,7 +281,7 @@ func Run(cfg Config) (Result, error) {
 		res.LastDecision = last
 		res.LatencyAfterTS = last - cfg.TS
 		if res.LatencyAfterTS < 0 {
-			res.LatencyAfterTS = last
+			res.LatencyAfterTS = 0
 		}
 	}
 	// Recovery is read from the nodes, not cfg.Restarts, so restarts

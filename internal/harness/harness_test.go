@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core/consensus"
+	"repro/internal/simnet"
 )
 
 const delta = 10 * time.Millisecond
@@ -56,6 +57,30 @@ func TestRunAllProtocolsAfterStabilization(t *testing.T) {
 				t.Fatalf("LatencyAfterTS = %v, want %v", res.LatencyAfterTS, res.LastDecision-ts)
 			}
 		})
+	}
+}
+
+func TestLatencyAfterTSClampsWhenDecisionPredatesTS(t *testing.T) {
+	// A synchronous pre-TS network lets the cluster decide long before
+	// stabilization. The headline metric must then clamp to zero (the
+	// "decide by TS + bound" claim is trivially met), not fall back to
+	// LastDecision — the fallback made harness.Result disagree with
+	// scenario.RunResult.LatencyAfterTS on the same run.
+	res, err := Run(Config{
+		Protocol: ModifiedPaxos, N: 3, Delta: delta,
+		TS: 10 * time.Second, Policy: simnet.Synchronous{}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided {
+		t.Fatal("did not decide")
+	}
+	if res.LastDecision >= 10*time.Second {
+		t.Fatalf("decision at %v should predate TS", res.LastDecision)
+	}
+	if res.LatencyAfterTS != 0 {
+		t.Fatalf("LatencyAfterTS = %v for a pre-TS decision, want 0 (clamped)", res.LatencyAfterTS)
 	}
 }
 

@@ -19,13 +19,10 @@ type RunResult struct {
 
 // LatencyAfterTS is the run's decision latency after stabilization, clamped
 // at zero for runs that decided before TS (the paper's "decide by TS+bound"
-// is then trivially met).
+// is then trivially met). It is exactly harness.Result.LatencyAfterTS — the
+// two callers used to disagree on the pre-TS-decision case.
 func (r RunResult) LatencyAfterTS() time.Duration {
-	lat := r.Res.LastDecision - r.Cfg.TS
-	if lat < 0 {
-		return 0
-	}
-	return lat
+	return r.Res.LatencyAfterTS
 }
 
 // Check is one invariant evaluated against a run. A check that does not

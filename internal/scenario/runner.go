@@ -49,10 +49,18 @@ type Report struct {
 	Seeds       int              `json:"seeds"`
 	Protocols   []ProtocolReport `json:"protocols"`
 	Violations  []Violation      `json:"violations"`
+
+	// runs holds the raw cells in (protocol, seed) order when the spec set
+	// KeepRuns; unexported so JSON reports stay aggregate-only.
+	runs []RunResult
 }
 
 // Passed reports whether every check passed on every run.
 func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// Runs returns the raw (protocol, seed) results in deterministic order, or
+// nil unless the spec set KeepRuns.
+func (r *Report) Runs() []RunResult { return r.runs }
 
 // cell is one (protocol, seed) run outcome, produced by the worker pool.
 type cell struct {
@@ -71,25 +79,29 @@ type cell struct {
 // every worker count.
 func Run(spec Spec) (*Report, error) {
 	spec = spec.withDefaults()
-	rep := &Report{
-		Scenario:    spec.Name,
-		Description: spec.Description,
-		N:           spec.N,
-		Delta:       spec.Delta,
-		TS:          spec.TS,
-		Seeds:       spec.Seeds,
-	}
+	cells := execute([]Spec{spec}, spec.Workers)
+	return aggregate(spec, cells[0])
+}
 
-	cells := make([][]cell, len(spec.Protocols))
-	for pi := range cells {
-		cells[pi] = make([]cell, spec.Seeds)
+// execute runs every (protocol, seed) cell of every (already defaulted) spec
+// on one shared worker pool and returns, per spec, the cell matrix in
+// (protocol, seed) order. One pool spans all specs, so a grid's parallelism
+// covers the whole cell cross-product rather than one spec at a time.
+func execute(specs []Spec, workers int) [][][]cell {
+	out := make([][][]cell, len(specs))
+	total := 0
+	for gi, spec := range specs {
+		out[gi] = make([][]cell, len(spec.Protocols))
+		for pi := range out[gi] {
+			out[gi][pi] = make([]cell, spec.Seeds)
+		}
+		total += len(spec.Protocols) * spec.Seeds
 	}
-	type job struct{ pi, si int }
-	workers := spec.Workers
+	type job struct{ gi, pi, si int }
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if total := len(spec.Protocols) * spec.Seeds; workers > total {
+	if workers > total {
 		workers = total
 	}
 	jobs := make(chan job)
@@ -99,31 +111,47 @@ func Run(spec Spec) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				spec := specs[j.gi]
 				p := spec.Protocols[j.pi]
 				seed := spec.BaseSeed + int64(j.si)
-				out := &cells[j.pi][j.si]
+				slot := &out[j.gi][j.pi][j.si]
 				cfg, err := spec.config(p, seed)
 				if err != nil {
-					out.err = err
+					slot.err = err
 					continue
 				}
 				res, err := harness.Run(cfg)
 				if err != nil {
-					out.err = fmt.Errorf("scenario %s: %s seed %d: %w", spec.Name, p, seed, err)
+					slot.err = fmt.Errorf("scenario %s: %s seed %d: %w", spec.Name, p, seed, err)
 					continue
 				}
-				out.run = RunResult{Protocol: p, Seed: seed, Cfg: cfg, Res: res}
+				slot.run = RunResult{Protocol: p, Seed: seed, Cfg: cfg, Res: res}
 			}
 		}()
 	}
-	for pi := range spec.Protocols {
-		for si := 0; si < spec.Seeds; si++ {
-			jobs <- job{pi, si}
+	for gi, spec := range specs {
+		for pi := range spec.Protocols {
+			for si := 0; si < spec.Seeds; si++ {
+				jobs <- job{gi, pi, si}
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	return out
+}
 
+// aggregate folds one spec's executed cell matrix into its Report,
+// evaluating checks in deterministic (protocol, seed) order.
+func aggregate(spec Spec, cells [][]cell) (*Report, error) {
+	rep := &Report{
+		Scenario:    spec.Name,
+		Description: spec.Description,
+		N:           spec.N,
+		Delta:       spec.Delta,
+		TS:          spec.TS,
+		Seeds:       spec.Seeds,
+	}
 	for pi, p := range spec.Protocols {
 		pr := ProtocolReport{Protocol: p, Seeds: spec.Seeds}
 		var lats, msgs []time.Duration
@@ -133,6 +161,9 @@ func Run(spec Spec) (*Report, error) {
 				return nil, c.err
 			}
 			run := c.run
+			if spec.KeepRuns {
+				rep.runs = append(rep.runs, run)
+			}
 			if run.Res.Decided {
 				pr.Decided++
 				// Only decided runs contribute a latency: a timed-out

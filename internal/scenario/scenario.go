@@ -25,13 +25,17 @@ import (
 
 // Rel is a virtual time expressed relative to the run's parameters, so a
 // scenario stays meaningful when δ or TS are swept: the resolved time is
-// TS·[FromTS] + Deltas·δ. Deltas may be negative with FromTS to name a
+// TS·[FromTS] + Deltas·δ + Abs. Deltas may be negative with FromTS to name a
 // pre-stabilization instant.
 type Rel struct {
 	// FromTS anchors the time at the stabilization time instead of 0.
 	FromTS bool
 	// Deltas is the offset from the anchor, in units of δ.
 	Deltas float64
+	// Abs is an additional fixed offset, for callers (the CLIs) whose
+	// schedules are stated in absolute virtual time rather than in model
+	// parameters.
+	Abs time.Duration
 }
 
 // AfterTS returns the time TS + k·δ.
@@ -40,9 +44,12 @@ func AfterTS(k float64) Rel { return Rel{FromTS: true, Deltas: k} }
 // AtDeltas returns the absolute time k·δ.
 func AtDeltas(k float64) Rel { return Rel{Deltas: k} }
 
+// AtAbs returns the fixed absolute time d, independent of δ and TS.
+func AtAbs(d time.Duration) Rel { return Rel{Abs: d} }
+
 // Resolve converts the relative time to an absolute virtual time.
 func (r Rel) Resolve(delta, ts time.Duration) time.Duration {
-	at := time.Duration(r.Deltas * float64(delta))
+	at := r.Abs + time.Duration(r.Deltas*float64(delta))
 	if r.FromTS {
 		at += ts
 	}
@@ -50,7 +57,7 @@ func (r Rel) Resolve(delta, ts time.Duration) time.Duration {
 }
 
 // IsZero reports whether the Rel is the zero value (used for "never").
-func (r Rel) IsZero() bool { return !r.FromTS && r.Deltas == 0 }
+func (r Rel) IsZero() bool { return !r.FromTS && r.Deltas == 0 && r.Abs == 0 }
 
 // NetProfile builds the pre-stabilization network policy for a given
 // cluster size and timing; nil keeps the harness default (DropAll when
@@ -261,6 +268,9 @@ type Spec struct {
 	Adversary AdversaryProfile
 	// WorstCaseDelays makes every post-TS delivery take exactly δ.
 	WorstCaseDelays bool
+	// Prepared enables the modified-Paxos stable-state fast path (phase 1
+	// pre-executed).
+	Prepared bool
 	// Checks are the invariants evaluated on every run; nil means
 	// DefaultChecks (termination, agreement, validity).
 	Checks []Check
@@ -274,6 +284,10 @@ type Spec struct {
 	// cells concurrently; 0 uses GOMAXPROCS, 1 forces serial execution.
 	// The report is identical for every worker count.
 	Workers int
+	// KeepRuns retains the raw RunResults on the Report (Report.Runs), for
+	// callers that need per-run data the aggregates do not carry (restart
+	// recoveries, per-type message counts, trace series).
+	KeepRuns bool
 }
 
 // withDefaults returns the spec with every zero field resolved.
@@ -311,6 +325,7 @@ func (s Spec) config(p harness.Protocol, seed int64) (harness.Config, error) {
 		Sigma: s.Sigma, Eps: s.Eps,
 		Rho: s.Clocks.Rho, Drift: s.Clocks.drift(s.N, s.Delta),
 		WorstCaseDelays: s.WorstCaseDelays,
+		Prepared:        s.Prepared,
 		Seed:            seed,
 		Horizon:         s.Horizon,
 	}

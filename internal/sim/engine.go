@@ -58,16 +58,25 @@ type Event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 once popped
+	index    int         // heap index, -1 once popped
+	q        *eventQueue // owning queue, for eager removal on Cancel
 }
 
-// Cancel prevents the event from executing. Canceling an already-executed
-// or already-canceled event is a no-op.
+// Cancel prevents the event from executing and removes it from the event
+// queue. Timer-re-arm-heavy protocols cancel an event per SetTimer, so a
+// canceled event must not linger in the heap: it would bloat the queue and
+// make Pending lie. Canceling an already-executed or already-canceled event
+// is a no-op.
 func (ev *Event) Cancel() {
-	if ev != nil {
-		ev.canceled = true
-		ev.fn = nil
+	if ev == nil || ev.canceled {
+		return
 	}
+	ev.canceled = true
+	ev.fn = nil
+	if ev.q != nil && ev.index >= 0 {
+		heap.Remove(ev.q, ev.index)
+	}
+	ev.q = nil
 }
 
 // Canceled reports whether the event has been canceled.
@@ -84,7 +93,7 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, seq: e.seq, fn: fn, q: &e.queue}
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -124,7 +133,9 @@ func (e *Engine) Step() bool {
 // Run executes events until the queue drains, the time horizon passes, Stop
 // is called, or the event limit is reached. Events scheduled exactly at the
 // horizon still run; the first event strictly beyond it stays queued and the
-// clock is left at the horizon.
+// clock is left at the horizon. Draining the queue also leaves the clock at
+// the horizon (matching RunUntil); only Stop and the event limit abort the
+// run with the clock mid-way.
 func (e *Engine) Run(until time.Duration) {
 	e.stopped = false
 	for !e.stopped {
@@ -133,6 +144,9 @@ func (e *Engine) Run(until time.Duration) {
 		}
 		ev := e.queue.peek()
 		if ev == nil {
+			if until > e.now {
+				e.now = until
+			}
 			return
 		}
 		if ev.at > until {
@@ -172,7 +186,8 @@ func (e *Engine) RunUntil(pred func() bool, horizon time.Duration) bool {
 	return pred()
 }
 
-// Pending returns the number of queued (possibly canceled) events.
+// Pending returns the number of queued events. Canceled events are removed
+// eagerly, so they never count.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
 // eventQueue is a min-heap ordered by (time, sequence), giving a total,
@@ -211,8 +226,8 @@ func (q *eventQueue) Pop() any {
 }
 
 func (q *eventQueue) peek() *Event {
-	// Discard canceled events lazily so Run's horizon check sees the next
-	// live event.
+	// Cancel removes events eagerly, so the head is always live; the sweep
+	// below is defense in depth only.
 	for q.Len() > 0 {
 		if !(*q)[0].canceled {
 			return (*q)[0]

@@ -96,6 +96,55 @@ func TestRunHorizonStopsAndSetsClock(t *testing.T) {
 	}
 }
 
+func TestRunDrainLeavesClockAtHorizon(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*time.Millisecond, func() {})
+	e.Run(time.Second)
+	if e.Pending() != 0 {
+		t.Fatalf("queue should be drained, %d pending", e.Pending())
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock at %v after the queue drained, want the 1s horizon", e.Now())
+	}
+	// A second run over an empty queue must not move the clock backwards.
+	e.Run(500 * time.Millisecond)
+	if e.Now() != time.Second {
+		t.Fatalf("clock moved backwards to %v", e.Now())
+	}
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine(1)
+	keep := 0
+	e.Schedule(time.Millisecond, func() { keep++ })
+	ev := e.Schedule(2*time.Millisecond, func() {})
+	e.Schedule(3*time.Millisecond, func() { keep++ })
+	ev.Cancel()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d after cancel, want 2 (canceled event still in heap)", e.Pending())
+	}
+	e.Run(time.Second)
+	if keep != 2 {
+		t.Fatalf("ran %d live events, want 2", keep)
+	}
+}
+
+func TestRearmChurnKeepsHeapBounded(t *testing.T) {
+	// The SetTimer pattern: every re-arm cancels the previous event. The
+	// heap must stay O(live events), not O(total re-arms).
+	e := NewEngine(1)
+	var ev *Event
+	for i := 0; i < 10000; i++ {
+		if ev != nil {
+			ev.Cancel()
+		}
+		ev = e.After(time.Millisecond, func() {})
+	}
+	if p := e.Pending(); p != 1 {
+		t.Fatalf("Pending = %d after 10000 re-arms, want 1", p)
+	}
+}
+
 func TestRunUntilPredicate(t *testing.T) {
 	e := NewEngine(1)
 	count := 0
@@ -226,6 +275,23 @@ func TestQuickMonotoneExecution(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// BenchmarkCancelRearmChurn measures the timer-re-arm hot path (cancel the
+// previous event, schedule a replacement) and asserts the heap stays bounded
+// under the churn — the regression the eager Cancel removal fixes.
+func BenchmarkCancelRearmChurn(b *testing.B) {
+	e := NewEngine(1)
+	var ev *Event
+	for i := 0; i < b.N; i++ {
+		if ev != nil {
+			ev.Cancel()
+		}
+		ev = e.After(time.Millisecond, func() {})
+		if p := e.Pending(); p > 1 {
+			b.Fatalf("heap grew to %d pending events under re-arm churn", p)
+		}
 	}
 }
 

@@ -136,6 +136,21 @@ func TestDropAllBlocksUntilTS(t *testing.T) {
 	}
 }
 
+func TestTimerRearmDoesNotBloatEventQueue(t *testing.T) {
+	// Protocols that re-arm a timer on every message (modpaxos's session
+	// timer) cancel the previous event each SetTimer; the canceled events
+	// must leave the engine's heap immediately, or Pending lies and the
+	// queue grows with the churn.
+	eng, nw := build(t, Config{N: 3, Delta: 10 * time.Millisecond})
+	node := nw.Node(0)
+	for i := 0; i < 1000; i++ {
+		node.SetTimer(1, 50*time.Millisecond)
+	}
+	if p := eng.Pending(); p != 1 {
+		t.Fatalf("engine has %d pending events after 1000 re-arms of one timer, want 1", p)
+	}
+}
+
 func TestCrashedProcessDropsMessagesAndTimers(t *testing.T) {
 	delta := 10 * time.Millisecond
 	_, nw := build(t, Config{N: 3, Delta: delta, TS: 0})
