@@ -1,31 +1,31 @@
 // Command livedemo runs a live goroutine cluster — real time, real timers,
 // optionally real TCP — through an unstable period followed by
-// stabilization, and reports when each process decides.
+// stabilization, and reports decision latency against the wall-clock
+// stabilization instant.
+//
+// It is a thin wrapper over the scenario engine's live backend: the flags
+// assemble one canned Spec (a chaotic pre-TS network healing at -unstable)
+// and hand it to scenario.Run on the `live` or `live-tcp` backend, so the
+// demo exercises exactly the machinery `scenario run -backend live` uses.
 //
 // Usage (protocols are enumerated from the registry; any registered
 // protocol that does not need the simulator's leader oracle is accepted):
 //
 //	livedemo [-protocol modpaxos|roundbased|bconsensus] [-n 5]
-//	         [-delta 20ms] [-unstable 300ms] [-loss 0.5] [-tcp]
-//
-// This is the "eventual synchrony in the wild" demo: for the first
-// -unstable period the in-memory network drops and delays messages
-// arbitrarily; afterwards it delivers within δ. With -tcp the cluster runs
-// over loopback TCP with gob-encoded messages instead (no injected faults —
-// the kernel is the network).
+//	         [-delta 20ms] [-unstable 300ms] [-loss 0.5] [-seed 1] [-tcp]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
-	"repro/internal/core/consensus"
-	"repro/internal/live"
+	"repro/internal/harness"
 	"repro/internal/protocol"
+	"repro/internal/scenario"
+	"repro/internal/simnet"
 )
 
 // liveProtocols enumerates the registered protocols the live runtime can
@@ -54,8 +54,9 @@ func run(args []string) error {
 		proto    = fs.String("protocol", "modpaxos", "protocol: "+liveProtocols())
 		n        = fs.Int("n", 5, "number of processes")
 		delta    = fs.Duration("delta", 20*time.Millisecond, "δ (live delivery bound)")
-		unstable = fs.Duration("unstable", 300*time.Millisecond, "duration of the pre-stabilization period")
+		unstable = fs.Duration("unstable", 300*time.Millisecond, "duration of the pre-stabilization period (the wall-clock TS)")
 		loss     = fs.Float64("loss", 0.5, "pre-stabilization loss probability")
+		seed     = fs.Int64("seed", 1, "fault-injection seed (fates are reproducible per seed)")
 		useTCP   = fs.Bool("tcp", false, "run over loopback TCP instead of channels")
 		timeout  = fs.Duration("timeout", 30*time.Second, "give up after this long")
 	)
@@ -70,57 +71,36 @@ func run(args []string) error {
 	if d.NeedsLeaderOracle {
 		return fmt.Errorf("%q needs the simulator's leader oracle; use consensus-sim (live-capable: %s)", *proto, liveProtocols())
 	}
-	factory, err := d.Build(protocol.Params{Delta: *delta})
-	if err != nil {
-		return err
-	}
 
-	proposals := make([]consensus.Value, *n)
-	ids := make([]consensus.ProcessID, *n)
-	for i := range proposals {
-		proposals[i] = consensus.Value(fmt.Sprintf("value-from-p%d", i))
-		ids[i] = consensus.ProcessID(i)
-	}
-
-	var transport live.Transport
+	backend := scenario.BackendLive
 	if *useTCP {
-		tcp, err := live.NewTCPTransport(ids)
-		if err != nil {
-			return err
-		}
-		for _, id := range ids {
-			fmt.Printf("p%d listening on %s\n", id, tcp.Addr(id))
-		}
-		transport = tcp
-	} else {
-		transport = live.NewMemTransport(live.MemTransportConfig{
-			MaxDelay:       *delta,
-			StabilizeAfter: *unstable,
-			LossProb:       *loss,
-		})
-		fmt.Printf("unstable for %v (loss %.0f%%), then stable with δ=%v\n", *unstable, *loss*100, *delta)
+		backend = scenario.BackendLiveTCP
 	}
-
-	cluster, err := live.NewCluster(live.Config{N: *n, Delta: *delta, Transport: transport}, factory, proposals)
+	lossPct := *loss
+	spec := scenario.Spec{
+		Name: "livedemo",
+		Description: fmt.Sprintf("unstable for %v (%.0f%% loss, delays up to 2·TS), then stable with δ=%v",
+			*unstable, lossPct*100, *delta),
+		Backend:         backend,
+		Protocols:       []harness.Protocol{harness.Protocol(*proto)},
+		N:               *n,
+		Delta:           *delta,
+		TS:              *unstable,
+		StableFromStart: *unstable == 0,
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			return simnet.Chaos{DropProb: lossPct}
+		},
+		Seeds:    1,
+		BaseSeed: *seed,
+		Horizon:  *timeout,
+	}
+	rep, err := scenario.Run(spec)
 	if err != nil {
 		return err
 	}
-	defer func() { _ = cluster.Stop() }()
-
-	start := time.Now()
-	cluster.Start()
-	if err := cluster.WaitAllDecided(*timeout); err != nil {
-		return err
+	fmt.Print(rep.Text())
+	if !rep.Passed() {
+		return fmt.Errorf("%d invariant violation(s)", len(rep.Violations))
 	}
-	elapsed := time.Since(start)
-
-	decisions := cluster.Checker().Decisions()
-	sort.Slice(decisions, func(i, j int) bool { return decisions[i].At < decisions[j].At })
-	for _, d := range decisions {
-		fmt.Printf("p%d decided %q at +%v\n", d.Proc, d.Value, d.At.Round(time.Millisecond))
-	}
-	fmt.Printf("all %d processes decided in %v (%.1fδ); %d messages sent\n",
-		*n, elapsed.Round(time.Millisecond), float64(elapsed)/float64(*delta),
-		cluster.Collector().TotalSent())
 	return nil
 }

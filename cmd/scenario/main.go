@@ -4,17 +4,25 @@
 // Usage:
 //
 //	scenario list
-//	scenario run [-seeds N] [-n N] [-delta D] [-ts D] [-format text|json] <name>|all
+//	scenario run [-backend sim|live|live-tcp] [-seeds N] [-n N] [-delta D]
+//	             [-ts D] [-short] [-format text|json] <name>|all
 //	scenario sweep [-axis name=v1,v2,...]... [-zip] [-ns 5,9,17] [-seeds N]
-//	               [-delta D] [-workers W] [-format text|csv|json] <name>|all
+//	               [-delta D] [-workers W] [-backend B] [-failfast]
+//	               [-format text|csv|json] <name>|all
 //
 // `list` enumerates the canned scenarios and the registered protocols.
 // `run` executes a scenario across its protocol set and seed matrix and
 // prints the report; it exits non-zero if any invariant was violated, so a
-// scenario run doubles as a CI gate. `sweep` re-runs a scenario across a
-// multi-axis parameter grid (internal/scenario.Grid) and prints the median
-// latency after TS per protocol and cell — the O(δ) vs O(Nδ) shape at a
-// glance. Axes (any subset, crossed by default or paired with -zip):
+// scenario run doubles as a CI gate. -backend selects the execution
+// substrate: the deterministic simulator (default), or the live runtime —
+// real goroutines and wall-clock time over in-memory channels (live) or
+// loopback TCP (live-tcp), with the scenario's pre-TS policy injected as
+// wall-clock faults. -short caps the matrix at one seed per protocol for
+// wall-clock smoke runs. `sweep` re-runs a scenario across a multi-axis
+// parameter grid (internal/scenario.Grid) and prints the median latency
+// after TS per protocol and cell — the O(δ) vs O(Nδ) shape at a glance;
+// -failfast stops scheduling cells at the first violated cell. Axes (any
+// subset, crossed by default or paired with -zip):
 //
 //	-axis n=5,9,17 -axis delta=1ms,5ms,25ms -axis rho=0,0.01,0.1
 //	-axis ts=0,100ms,400ms -axis sigma=50ms,80ms -axis eps=1ms,5ms -axis k=0,2,8
@@ -112,11 +120,13 @@ func resolve(name string) ([]scenario.Spec, error) {
 func cmdRun(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
 	var (
-		seeds  = fs.Int("seeds", 0, "seeds per protocol (0 = scenario default)")
-		n      = fs.Int("n", 0, "cluster size (0 = scenario default)")
-		delta  = fs.Duration("delta", 0, "δ override (0 = scenario default)")
-		ts     = fs.Duration("ts", 0, "TS override (0 = scenario default)")
-		format = fs.String("format", "text", "output format: text or json")
+		backend = fs.String("backend", "", "execution substrate: "+strings.Join(scenario.BackendNames(), ", ")+" (default: scenario's own, usually sim)")
+		seeds   = fs.Int("seeds", 0, "seeds per protocol (0 = scenario default)")
+		n       = fs.Int("n", 0, "cluster size (0 = scenario default)")
+		delta   = fs.Duration("delta", 0, "δ override (0 = scenario default)")
+		ts      = fs.Duration("ts", 0, "TS override (0 = scenario default)")
+		short   = fs.Bool("short", false, "smoke mode: one seed per protocol (for wall-clock live runs)")
+		format  = fs.String("format", "text", "output format: text or json")
 	)
 	name, err := parseWithName(fs, args, "scenario run [flags] <name>|all")
 	if err != nil {
@@ -131,8 +141,14 @@ func cmdRun(args []string, out io.Writer) error {
 	}
 	violated := 0
 	for _, spec := range specs {
+		if *backend != "" {
+			spec.Backend = *backend
+		}
 		if *seeds > 0 {
 			spec.Seeds = *seeds
+		}
+		if *short {
+			spec.Seeds = 1
 		}
 		if *n > 0 {
 			spec.N = *n
@@ -196,12 +212,14 @@ func cmdSweep(args []string, out io.Writer) error {
 	var axes axisFlags
 	fs.Var(&axes, "axis", "swept axis \"name=v1,v2,...\" (repeatable; names: "+strings.Join(scenario.AxisNames(), ", ")+")")
 	var (
-		ns      = fs.String("ns", "", "shorthand for -axis n=... (default n=5,9,17 when no axis is given)")
-		zip     = fs.Bool("zip", false, "pair the axes element-wise instead of crossing them")
-		seeds   = fs.Int("seeds", 3, "seeds per protocol per cell")
-		delta   = fs.Duration("delta", 0, "base δ override (0 = scenario default; use -axis delta=... to sweep it)")
-		workers = fs.Int("workers", 0, "worker pool size shared across all cells (0 = GOMAXPROCS)")
-		format  = fs.String("format", "text", "output format: text, csv, or json")
+		ns       = fs.String("ns", "", "shorthand for -axis n=... (default n=5,9,17 when no axis is given)")
+		zip      = fs.Bool("zip", false, "pair the axes element-wise instead of crossing them")
+		seeds    = fs.Int("seeds", 3, "seeds per protocol per cell")
+		delta    = fs.Duration("delta", 0, "base δ override (0 = scenario default; use -axis delta=... to sweep it)")
+		workers  = fs.Int("workers", 0, "worker pool size shared across all cells (0 = GOMAXPROCS)")
+		backend  = fs.String("backend", "", "execution substrate: "+strings.Join(scenario.BackendNames(), ", ")+" (default: scenario's own, usually sim)")
+		failfast = fs.Bool("failfast", false, "stop scheduling cells after the first violated cell")
+		format   = fs.String("format", "text", "output format: text, csv, or json")
 	)
 	name, err := parseWithName(fs, args, "scenario sweep [flags] <name>|all")
 	if err != nil {
@@ -233,7 +251,10 @@ func cmdSweep(args []string, out io.Writer) error {
 		if *delta > 0 {
 			spec.Delta = *delta
 		}
-		rep, err := scenario.Grid{Base: spec, Axes: gridAxes, Zip: *zip, Workers: *workers}.Run()
+		if *backend != "" {
+			spec.Backend = *backend
+		}
+		rep, err := scenario.Grid{Base: spec, Axes: gridAxes, Zip: *zip, Workers: *workers, FailFast: *failfast}.Run()
 		if err != nil {
 			return err
 		}

@@ -210,3 +210,69 @@ func TestSweepRejectsUnknownFormat(t *testing.T) {
 		t.Fatal("unknown sweep format should fail")
 	}
 }
+
+// TestRunLiveBackend is the CLI face of the tentpole: a canned regime on
+// the live runtime, smoke-sized, emitting the same report schema.
+func TestRunLiveBackend(t *testing.T) {
+	out, err := capture(t, "run", "-backend", "live", "-short",
+		"-n", "3", "-delta", "5ms", "-ts", "50ms", "total-partition")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "backend=live") || !strings.Contains(out, "violations: none") {
+		t.Errorf("unexpected live report:\n%s", out)
+	}
+	// The defaulted protocol set on a live backend excludes the
+	// oracle-needing baseline; whole-field match as in TestListShowsProtocols.
+	for _, line := range strings.Split(out, "\n") {
+		if f := strings.Fields(line); len(f) > 0 && f[0] == "paxos" {
+			t.Errorf("live run included the simulator-only protocol:\n%s", out)
+		}
+	}
+}
+
+// TestRunLiveTCPBackend drives the same canned regime over real loopback
+// sockets.
+func TestRunLiveTCPBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping wall-clock TCP scenario CLI test in -short mode")
+	}
+	out, err := capture(t, "run", "-backend", "live-tcp", "-short",
+		"-n", "3", "-delta", "5ms", "-ts", "50ms", "-format", "json", "chaos-monkey")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var rep struct {
+		Backend    string           `json:"backend"`
+		Violations []map[string]any `json:"violations"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if rep.Backend != "live-tcp" || len(rep.Violations) != 0 {
+		t.Errorf("unexpected live-tcp report: %+v\n%s", rep, out)
+	}
+}
+
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	if _, err := capture(t, "run", "-backend", "warp", "-seeds", "1", "baseline-synchronous"); err == nil {
+		t.Fatal("unknown backend should fail")
+	}
+}
+
+// TestSweepFailFast pins the CLI wiring of Grid.FailFast on the clean
+// path: every cell of a passing sweep still runs and nothing is marked
+// truncated (the truncating path is pinned at the library level by
+// TestGridFailFastStopsAtFirstViolatedCell).
+func TestSweepFailFast(t *testing.T) {
+	out, err := capture(t, "sweep", "-ns", "3,5", "-seeds", "1", "-failfast", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if strings.Contains(out, "fail-fast") {
+		t.Errorf("clean fail-fast sweep must not be truncated:\n%s", out)
+	}
+	if !strings.Contains(out, "n=5") {
+		t.Errorf("clean fail-fast sweep must run every cell:\n%s", out)
+	}
+}

@@ -262,28 +262,9 @@ func Run(cfg Config) (Result, error) {
 			return true
 		}, cfg.Horizon)
 		decided = decided && ok
-		violation = nw.Checker().Violation()
 	}
 
-	res := Result{
-		Decided:         decided && violation == nil,
-		Messages:        collector.TotalSent(),
-		MessagesByType:  collector.SentByType(),
-		RestartRecovery: make(map[consensus.ProcessID]time.Duration),
-		Collector:       collector,
-		Violation:       violation,
-	}
-	if d, ok := nw.Checker().FirstDecision(); ok {
-		res.FirstDecision = d.At
-		res.Value = d.Value
-	}
-	if last, ok := nw.Checker().LastDecisionAmong(nw.UpIDs()); ok {
-		res.LastDecision = last
-		res.LatencyAfterTS = last - cfg.TS
-		if res.LatencyAfterTS < 0 {
-			res.LatencyAfterTS = 0
-		}
-	}
+	res := BuildResult(cfg, collector, nw.Checker(), nw.UpIDs(), decided)
 	// Recovery is read from the nodes, not cfg.Restarts, so restarts
 	// scheduled dynamically (PreStart fault schedules) are measured too.
 	for _, id := range nw.AllIDs() {
@@ -292,6 +273,37 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// BuildResult assembles a Result from a run's collector and safety checker.
+// It is the single place the headline metrics are derived — the simulator
+// path (Run) and the scenario engine's live backend both report through it,
+// so decision latency against TS carries identical clamping and message
+// accounting whatever the execution substrate. up lists the processes whose
+// decisions bound LastDecision (those up at the end of the run);
+// RestartRecovery is left empty for substrates that do not measure it.
+func BuildResult(cfg Config, collector *trace.Collector, checker *consensus.SafetyChecker, up []consensus.ProcessID, decided bool) Result {
+	violation := checker.Violation()
+	res := Result{
+		Decided:         decided && violation == nil,
+		Messages:        collector.TotalSent(),
+		MessagesByType:  collector.SentByType(),
+		RestartRecovery: make(map[consensus.ProcessID]time.Duration),
+		Collector:       collector,
+		Violation:       violation,
+	}
+	if d, ok := checker.FirstDecision(); ok {
+		res.FirstDecision = d.At
+		res.Value = d.Value
+	}
+	if last, ok := checker.LastDecisionAmong(up); ok {
+		res.LastDecision = last
+		res.LatencyAfterTS = last - cfg.TS
+		if res.LatencyAfterTS < 0 {
+			res.LatencyAfterTS = 0
+		}
+	}
+	return res
 }
 
 // stableLeader picks the lowest-id process not scheduled to be down.

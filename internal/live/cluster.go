@@ -48,6 +48,10 @@ type Config struct {
 	// process restarts. Empty means in-memory stable storage (which still
 	// survives Crash/Restart within this Cluster).
 	StateDir string
+	// Seed, when nonzero, seeds each node's protocol randomness
+	// deterministically (the scenario live backend derives it from the
+	// spec's seed matrix). Zero keeps time-based node seeds.
+	Seed int64
 }
 
 // Cluster is a set of live processes.
@@ -149,17 +153,25 @@ func (c *Cluster) AllIDs() []consensus.ProcessID {
 // WaitAllDecided blocks until every process has decided or the timeout
 // elapses. It returns an error on timeout or safety violation.
 func (c *Cluster) WaitAllDecided(timeout time.Duration) error {
+	return c.WaitDecidedAmong(c.AllIDs(), timeout)
+}
+
+// WaitDecidedAmong blocks until every listed process has decided or the
+// timeout elapses — the wait the scenario live backend uses, where
+// processes crashed for good are excluded. It returns an error on timeout
+// or safety violation.
+func (c *Cluster) WaitDecidedAmong(ids []consensus.ProcessID, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		if err := c.checker.Violation(); err != nil {
 			return fmt.Errorf("live: safety violation: %w", err)
 		}
-		if c.checker.AllDecided(c.AllIDs()) {
+		if c.checker.AllDecided(ids) {
 			return nil
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("live: %d/%d processes decided within %v",
-				c.checker.DecidedCount(), c.cfg.N, timeout)
+				c.checker.DecidedCount(), len(ids), timeout)
 		}
 		time.Sleep(time.Millisecond)
 	}

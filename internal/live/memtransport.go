@@ -24,9 +24,16 @@ type MemTransportConfig struct {
 	// 2·StabilizeAfter, so late messages can arrive after stabilization
 	// — live obsolete messages).
 	UnstableMaxDelay time.Duration
-	// Seed seeds the transport's fault randomness (0 = time-based).
+	// Seed seeds the transport's fault randomness. Zero means a fixed
+	// default seed — zero-config transports are reproducible. (Zero used
+	// to fall back to time-based seeding, which made every scenario-driven
+	// live report unrepeatable; callers wanting varied runs must now seed
+	// explicitly.)
 	Seed int64
 }
+
+// defaultTransportSeed replaces a zero MemTransportConfig.Seed.
+const defaultTransportSeed = 1
 
 // MemTransport delivers messages between in-process nodes via their
 // registered handlers, applying the configured loss/delay model. It is safe
@@ -52,7 +59,7 @@ func NewMemTransport(cfg MemTransportConfig) *MemTransport {
 	}
 	seed := cfg.Seed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = defaultTransportSeed
 	}
 	return &MemTransport{
 		cfg:      cfg,

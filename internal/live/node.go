@@ -69,12 +69,16 @@ func newLiveNode(c *Cluster, id consensus.ProcessID) (*Node, error) {
 		}
 		store = fs
 	}
+	seed := time.Now().UnixNano() ^ int64(id)
+	if c.cfg.Seed != 0 {
+		seed = mixSeed(c.cfg.Seed, id, id, 0)
+	}
 	return &Node{
 		cluster:  c,
 		id:       id,
 		inbox:    make(chan event, 4096),
 		store:    store,
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(id))),
+		rng:      rand.New(rand.NewSource(seed)),
 		bootedAt: time.Now(),
 		timers:   make(map[consensus.TimerID]*time.Timer),
 	}, nil

@@ -46,10 +46,18 @@ type TCPTransport struct {
 	listeners map[consensus.ProcessID]net.Listener
 	addrs     map[consensus.ProcessID]string
 	handlers  map[consensus.ProcessID]func(consensus.ProcessID, consensus.Message)
-	conns     map[connKey]*senderConn
-	closed    bool
-	wg        sync.WaitGroup
+	// pending buffers envelopes that arrive before the destination's
+	// handler registers (bounded; overflow is an omission). Register
+	// flushes it, so a late-wired process still sees early traffic.
+	pending map[consensus.ProcessID][]envelope
+	conns   map[connKey]*senderConn
+	closed  bool
+	wg      sync.WaitGroup
 }
+
+// maxPendingPerProcess bounds the pre-registration buffer; beyond it the
+// omission model applies.
+const maxPendingPerProcess = 1024
 
 type connKey struct {
 	from, to consensus.ProcessID
@@ -69,6 +77,7 @@ func NewTCPTransport(ids []consensus.ProcessID) (*TCPTransport, error) {
 		listeners: make(map[consensus.ProcessID]net.Listener),
 		addrs:     make(map[consensus.ProcessID]string),
 		handlers:  make(map[consensus.ProcessID]func(consensus.ProcessID, consensus.Message)),
+		pending:   make(map[consensus.ProcessID][]envelope),
 		conns:     make(map[connKey]*senderConn),
 	}
 	for _, id := range ids {
@@ -93,11 +102,18 @@ func (t *TCPTransport) Addr(id consensus.ProcessID) string {
 	return t.addrs[id]
 }
 
-// Register implements Transport.
+// Register implements Transport. Envelopes that arrived before the handler
+// was installed are delivered immediately, in arrival order.
 func (t *TCPTransport) Register(id consensus.ProcessID, h func(consensus.ProcessID, consensus.Message)) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.handlers[id] = h
+	buffered := t.pending[id]
+	delete(t.pending, id)
+	t.mu.Unlock()
+	// Flush outside the lock: handlers may re-enter the transport.
+	for _, env := range buffered {
+		h(env.From, env.Msg)
+	}
 }
 
 func (t *TCPTransport) acceptLoop(id consensus.ProcessID, ln net.Listener) {
@@ -123,6 +139,9 @@ func (t *TCPTransport) readLoop(id consensus.ProcessID, conn net.Conn) {
 		}
 		t.mu.Lock()
 		h := t.handlers[id]
+		if h == nil && !t.closed && len(t.pending[id]) < maxPendingPerProcess {
+			t.pending[id] = append(t.pending[id], env)
+		}
 		closed := t.closed
 		t.mu.Unlock()
 		if closed {

@@ -216,6 +216,12 @@ type Grid struct {
 	// seed) matrix; 0 uses GOMAXPROCS. The report is identical for every
 	// worker count.
 	Workers int
+	// FailFast stops scheduling cells after the first cell with a
+	// violated check, leaving a partial report (Truncated marks it). Cells
+	// are executed one at a time in deterministic order, so the worker
+	// pool spans only each cell's (protocol, seed) matrix — a latency
+	// trade for large grids whose early cells gate the rest.
+	FailFast bool
 }
 
 // AxisPoint is one coordinate of a grid cell.
@@ -253,6 +259,9 @@ type GridReport struct {
 	Axes  []string   `json:"axes"`
 	Zip   bool       `json:"zipped,omitempty"`
 	Cells []GridCell `json:"cells"`
+	// Truncated reports that a fail-fast grid stopped before executing
+	// every cell: Cells ends with the first violated cell.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // cellSpecs resolves every cell of the grid into a concrete Spec plus its
@@ -334,11 +343,11 @@ func (g Grid) Run() (*GridReport, error) {
 	for _, ax := range g.Axes {
 		rep.Axes = append(rep.Axes, ax.Name)
 	}
-	matrices := execute(specs, g.Workers)
-	for i, spec := range specs {
-		r, err := aggregate(spec, matrices[i])
+	appendCell := func(i int, matrix [][]cell) error {
+		spec := specs[i]
+		r, err := aggregate(spec, matrix)
 		if err != nil {
-			return nil, fmt.Errorf("grid cell %s: %w", coordString(coords[i]), err)
+			return fmt.Errorf("grid cell %s: %w", coordString(coords[i]), err)
 		}
 		params := CellParams{
 			N: spec.N, Delta: spec.Delta, TS: spec.TS,
@@ -348,6 +357,28 @@ func (g Grid) Run() (*GridReport, error) {
 			params.AttackK = spec.Adversary.strength(spec.N)
 		}
 		rep.Cells = append(rep.Cells, GridCell{Coords: coords[i], Params: params, Report: r})
+		return nil
+	}
+	if g.FailFast {
+		// One cell at a time, in deterministic order; the first violated
+		// cell is the last one in the report.
+		for i := range specs {
+			matrices := execute(specs[i:i+1], g.Workers)
+			if err := appendCell(i, matrices[0]); err != nil {
+				return nil, err
+			}
+			if len(rep.Cells[len(rep.Cells)-1].Report.Violations) > 0 {
+				rep.Truncated = i+1 < len(specs)
+				break
+			}
+		}
+		return rep, nil
+	}
+	matrices := execute(specs, g.Workers)
+	for i := range specs {
+		if err := appendCell(i, matrices[i]); err != nil {
+			return nil, err
+		}
 	}
 	return rep, nil
 }
@@ -439,6 +470,9 @@ func (r *GridReport) Text() string {
 					coordString(c.Coords), viol.Protocol, viol.Seed, viol.Check, viol.Detail)
 			}
 		}
+	}
+	if r.Truncated {
+		b.WriteString("\n(fail-fast: remaining cells were not executed)\n")
 	}
 	return b.String()
 }

@@ -52,6 +52,69 @@ func TestGridCrossProductOrder(t *testing.T) {
 	}
 }
 
+// TestGridFailFastStopsAtFirstViolatedCell pins the partial-report shape:
+// cells run in deterministic order, the first violated cell is the last one
+// in the report, Truncated marks the unexecuted remainder, and the text and
+// CSV renderers handle the partial grid.
+func TestGridFailFastStopsAtFirstViolatedCell(t *testing.T) {
+	pass := AxisValue{Label: "ok", Apply: func(*Spec) {}}
+	fail := AxisValue{Label: "bad", Apply: func(s *Spec) {
+		// An impossible budget makes the cell deterministically violated.
+		s.Checks = []Check{MessageBudget{MaxTotal: 0}}
+	}}
+	grid := Grid{
+		Base:     gridBase(),
+		Axes:     []Axis{CustomAxis("variant", pass, fail, pass, pass)},
+		FailFast: true,
+	}
+	rep, err := grid.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("fail-fast executed %d cells, want 2 (stop at the first violated cell)", len(rep.Cells))
+	}
+	if got := coordString(rep.Cells[1].Coords); got != "variant=bad" {
+		t.Errorf("last cell is %q, want the violated one", got)
+	}
+	if len(rep.Cells[1].Report.Violations) == 0 {
+		t.Error("last cell of a truncated report must carry the violation")
+	}
+	if !rep.Truncated {
+		t.Error("partial report must be marked Truncated")
+	}
+	if !strings.Contains(rep.Text(), "fail-fast") {
+		t.Errorf("text renderer does not flag truncation:\n%s", rep.Text())
+	}
+	if rows := rep.CSVRows(); len(rows) != 2 {
+		t.Errorf("CSV has %d rows for a 2-cell single-protocol partial grid", len(rows))
+	}
+
+	// Without FailFast the same grid runs every cell and is not truncated.
+	grid.FailFast = false
+	full, err := grid.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Cells) != 4 || full.Truncated {
+		t.Errorf("full grid: %d cells, truncated=%v", len(full.Cells), full.Truncated)
+	}
+
+	// A fail-fast grid whose last cell violates is complete, not truncated.
+	tail := Grid{
+		Base:     gridBase(),
+		Axes:     []Axis{CustomAxis("variant", pass, fail)},
+		FailFast: true,
+	}
+	rep, err = tail.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 || rep.Truncated {
+		t.Errorf("violation in the final cell: %d cells, truncated=%v (nothing was skipped)", len(rep.Cells), rep.Truncated)
+	}
+}
+
 func TestGridZip(t *testing.T) {
 	rep, err := Grid{
 		Base: gridBase(),

@@ -22,6 +22,7 @@ func Library() []Spec {
 		slowCoordinator(),
 		driftHeavy(),
 		chaosMonkey(),
+		dupReorderStorm(),
 		churnStorm(),
 		obsoleteBallotReplay(),
 		coordinatorAssassination(),
@@ -148,6 +149,22 @@ func chaosMonkey() Spec {
 		Description: "every pre-TS message dropped with p=0.5 or delayed up to 2·TS (obsolete-message soup)",
 		Net: func(n int, delta, ts time.Duration) simnet.Policy {
 			return simnet.Chaos{DropProb: 0.5}
+		},
+		Checks: checksWithBound(),
+	}
+}
+
+func dupReorderStorm() Spec {
+	return Spec{
+		Name:        "dup-reorder-storm",
+		Description: "pre-TS messages lose FIFO order (4δ jitter) and re-deliver probabilistically — idempotence under Byzantine-flavored links",
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			return simnet.Reorder{
+				Base: simnet.Duplicate{
+					Prob: 0.4, MaxExtra: 2,
+					Base: simnet.Chaos{DropProb: 0.2},
+				},
+			}
 		},
 		Checks: checksWithBound(),
 	}

@@ -43,6 +43,7 @@ type ProtocolReport struct {
 type Report struct {
 	Scenario    string           `json:"scenario"`
 	Description string           `json:"description,omitempty"`
+	Backend     string           `json:"backend"`
 	N           int              `json:"n"`
 	Delta       time.Duration    `json:"delta_ns"`
 	TS          time.Duration    `json:"ts_ns"`
@@ -115,14 +116,19 @@ func execute(specs []Spec, workers int) [][][]cell {
 				p := spec.Protocols[j.pi]
 				seed := spec.BaseSeed + int64(j.si)
 				slot := &out[j.gi][j.pi][j.si]
+				backend, err := backendFor(spec.Backend)
+				if err != nil {
+					slot.err = err
+					continue
+				}
 				cfg, err := spec.config(p, seed)
 				if err != nil {
 					slot.err = err
 					continue
 				}
-				res, err := harness.Run(cfg)
+				res, err := backend.Run(cfg)
 				if err != nil {
-					slot.err = fmt.Errorf("scenario %s: %s seed %d: %w", spec.Name, p, seed, err)
+					slot.err = fmt.Errorf("scenario %s: %s seed %d on %s: %w", spec.Name, p, seed, backend.Name(), err)
 					continue
 				}
 				slot.run = RunResult{Protocol: p, Seed: seed, Cfg: cfg, Res: res}
@@ -147,6 +153,7 @@ func aggregate(spec Spec, cells [][]cell) (*Report, error) {
 	rep := &Report{
 		Scenario:    spec.Name,
 		Description: spec.Description,
+		Backend:     spec.Backend,
 		N:           spec.N,
 		Delta:       spec.Delta,
 		TS:          spec.TS,
@@ -200,7 +207,7 @@ func aggregate(spec Spec, cells [][]cell) (*Report, error) {
 func (r *Report) Text() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario %s — %s\n", r.Scenario, r.Description)
-	fmt.Fprintf(&b, "params: N=%d δ=%v TS=%v seeds=%d\n\n", r.N, r.Delta, r.TS, r.Seeds)
+	fmt.Fprintf(&b, "params: N=%d δ=%v TS=%v seeds=%d backend=%s\n\n", r.N, r.Delta, r.TS, r.Seeds, r.Backend)
 	fmt.Fprintf(&b, "%-12s %-8s %-12s %-12s %-10s %-10s\n",
 		"protocol", "decided", "latency p50", "latency max", "bound", "msgs p50")
 	for _, pr := range r.Protocols {

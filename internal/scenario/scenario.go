@@ -245,8 +245,17 @@ type Spec struct {
 	Name string
 	// Description is one line of intent shown by `scenario list`.
 	Description string
+	// Backend selects the execution substrate: BackendSim (the default),
+	// BackendLive (goroutines + in-memory transport), or BackendLiveTCP
+	// (goroutines + loopback TCP). The live backends run the same Spec
+	// under wall-clock time with policy-driven fault injection and report
+	// through the identical schema; features with no live equivalent
+	// (message-level adversaries, clock profiles, PreStart hooks,
+	// WorstCaseDelays) fail the run rather than degrade silently.
+	Backend string
 	// Protocols to run; nil means every visible protocol in the registry
-	// (harness.Protocols()).
+	// that the chosen backend supports (the live backends exclude
+	// protocols needing the simulator's leader oracle).
 	Protocols []harness.Protocol
 	// N, Delta, TS, Sigma, Eps are the model parameters (defaults: 5,
 	// 10ms, 200ms, protocol defaults).
@@ -303,8 +312,22 @@ func (s Spec) withDefaults() Spec {
 	} else if s.TS == 0 {
 		s.TS = 200 * time.Millisecond
 	}
+	if s.Backend == "" {
+		s.Backend = BackendSim
+	}
 	if len(s.Protocols) == 0 {
 		s.Protocols = harness.Protocols()
+		// A defaulted protocol set narrows to what the backend can run;
+		// an explicit set instead fails the run on an unsupported entry.
+		if b, err := backendFor(s.Backend); err == nil {
+			supported := s.Protocols[:0:0]
+			for _, p := range s.Protocols {
+				if b.Supports(p) == nil {
+					supported = append(supported, p)
+				}
+			}
+			s.Protocols = supported
+		}
 	}
 	if len(s.Checks) == 0 {
 		s.Checks = DefaultChecks()

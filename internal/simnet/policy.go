@@ -26,6 +26,11 @@ type Fate struct {
 	// Delay is the transit time when not dropped. It may exceed TS−SentAt:
 	// that is how obsolete messages surface after stabilization.
 	Delay time.Duration
+	// Duplicates lists the transit times of extra copies the network
+	// delivers beyond the original — Byzantine-flavored re-delivery. Each
+	// entry is an independent delay from the send instant and, like Delay,
+	// may land after TS. Correct protocols must be idempotent under it.
+	Duplicates []time.Duration
 }
 
 // Policy decides the fate of every message sent before TS. Implementations
@@ -127,6 +132,8 @@ func (c Chain) Fate(tx Transmission, rng *rand.Rand) Fate {
 		if f.Delay > out.Delay {
 			out.Delay = f.Delay
 		}
+		// Re-deliveries merge as a union: every link's copies arrive.
+		out.Duplicates = append(out.Duplicates, f.Duplicates...)
 	}
 	return out
 }
@@ -223,4 +230,87 @@ func (t TargetedDelay) Fate(tx Transmission, rng *rand.Rand) Fate {
 		base = Synchronous{}
 	}
 	return base.Fate(tx, rng)
+}
+
+// Duplicate re-delivers surviving pre-TS messages probabilistically: each
+// message that Base lets through spawns up to MaxExtra additional copies,
+// each with probability Prob, arriving after the original by up to Spread.
+// The network never promises exactly-once delivery before stabilization;
+// this policy makes that Byzantine-flavored slack concrete, so protocols
+// prove their handlers idempotent under it.
+type Duplicate struct {
+	// Prob is the per-copy duplication probability (default 0.5).
+	Prob float64
+	// MaxExtra caps the extra copies per message (default 1).
+	MaxExtra int
+	// Spread bounds how long after the original each copy arrives
+	// (default 2δ) — copies of late pre-TS messages can land post-TS,
+	// turning duplication into obsolete-message pressure.
+	Spread time.Duration
+	// Base rules the original delivery (default Synchronous).
+	Base Policy
+}
+
+// Fate implements Policy.
+func (d Duplicate) Fate(tx Transmission, rng *rand.Rand) Fate {
+	base := d.Base
+	if base == nil {
+		base = Synchronous{}
+	}
+	f := base.Fate(tx, rng)
+	if f.Drop {
+		return f
+	}
+	prob := d.Prob
+	if prob == 0 {
+		prob = 0.5
+	}
+	maxExtra := d.MaxExtra
+	if maxExtra == 0 {
+		maxExtra = 1
+	}
+	spread := d.Spread
+	if spread == 0 {
+		spread = 2 * tx.Delta
+	}
+	if spread <= 0 {
+		spread = 1
+	}
+	for i := 0; i < maxExtra; i++ {
+		if rng.Float64() < prob {
+			f.Duplicates = append(f.Duplicates, f.Delay+1+time.Duration(rng.Int63n(int64(spread))))
+		}
+	}
+	return f
+}
+
+// Reorder is a delay-jitter storm: every surviving pre-TS message gets an
+// independent extra delay uniform in [0, Jitter], so FIFO ordering between
+// any pair of processes is destroyed (a message sent later routinely
+// arrives earlier). Protocols relying on channel ordering rather than
+// message contents fail here.
+type Reorder struct {
+	// Jitter bounds the extra delay (default 4δ — enough to invert the
+	// order of messages sent up to four δ apart).
+	Jitter time.Duration
+	// Base rules loss and the baseline delay (default Synchronous).
+	Base Policy
+}
+
+// Fate implements Policy.
+func (r Reorder) Fate(tx Transmission, rng *rand.Rand) Fate {
+	base := r.Base
+	if base == nil {
+		base = Synchronous{}
+	}
+	f := base.Fate(tx, rng)
+	if f.Drop {
+		return f
+	}
+	jitter := r.Jitter
+	if jitter == 0 {
+		jitter = 4 * tx.Delta
+	}
+	f.Delay += time.Duration(rng.Int63n(int64(jitter) + 1))
+	return f
 }

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -49,12 +50,14 @@ func TestCompositePoliciesDeterministic(t *testing.T) {
 		"partition-until-ts": PartitionUntilTS{Group: groups},
 		"loss-burst":         LossBurst{From: testTS / 4, To: testTS / 2, DropProb: 0.7},
 		"targeted-delay":     TargetedDelay{Targets: map[consensus.ProcessID]bool{2: true}},
+		"duplicate":          Duplicate{Prob: 0.6, MaxExtra: 2, Base: Chaos{DropProb: 0.3}},
+		"reorder":            Reorder{Base: LossBurst{From: testTS / 2, DropProb: 0.4}},
 	}
 	for name, p := range policies {
 		a := fates(p, 42)
 		b := fates(p, 42)
 		for i := range a {
-			if a[i] != b[i] {
+			if !reflect.DeepEqual(a[i], b[i]) {
 				t.Errorf("%s: fate %d differs between identically-seeded runs: %+v vs %+v", name, i, a[i], b[i])
 			}
 		}
@@ -157,6 +160,88 @@ func TestLossBurstWindowAndTargets(t *testing.T) {
 	}
 	if f := targeted.Fate(tx(0, 1, testTS/2), rng); f.Drop {
 		t.Errorf("untargeted message should survive, got %+v", f)
+	}
+}
+
+// TestDuplicateSpawnsLateCopies pins the Duplicate policy: dropped messages
+// spawn nothing, surviving messages spawn at most MaxExtra copies, and every
+// copy arrives strictly after the original (re-delivery, not pre-delivery).
+func TestDuplicateSpawnsLateCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := Duplicate{Prob: 1, MaxExtra: 3, Spread: testDelta}
+	f := p.Fate(tx(0, 1, testTS/2), rng)
+	if f.Drop {
+		t.Fatalf("synchronous base must not drop, got %+v", f)
+	}
+	if len(f.Duplicates) != 3 {
+		t.Fatalf("Prob=1 MaxExtra=3: want 3 copies, got %d", len(f.Duplicates))
+	}
+	for i, d := range f.Duplicates {
+		if d <= f.Delay || d > f.Delay+testDelta {
+			t.Errorf("copy %d arrives at %v, want in (%v, %v]", i, d, f.Delay, f.Delay+testDelta)
+		}
+	}
+	// A dropped original spawns no copies.
+	dropped := Duplicate{Prob: 1, Base: DropAll{}}
+	if f := dropped.Fate(tx(0, 1, testTS/2), rng); !f.Drop || len(f.Duplicates) != 0 {
+		t.Errorf("dropped message must spawn no duplicates, got %+v", f)
+	}
+	// Prob=0 means the 0.5 default, not "never": over many draws some
+	// messages must duplicate.
+	def := Duplicate{}
+	n := 0
+	for i := 0; i < 64; i++ {
+		n += len(def.Fate(tx(0, 1, testTS/2), rng).Duplicates)
+	}
+	if n == 0 {
+		t.Error("default Duplicate never spawned a copy over 64 messages")
+	}
+	// Chain must carry re-deliveries through its merge, or composed
+	// regimes silently lose the duplication they advertise.
+	chained := Chain{Duplicate{Prob: 1, MaxExtra: 2, Spread: testDelta}, Synchronous{}}
+	if f := chained.Fate(tx(0, 1, testTS/2), rng); len(f.Duplicates) != 2 {
+		t.Errorf("Chain dropped re-deliveries: %+v", f)
+	}
+	// A zero Delta (unset PolicyTransportConfig) must not panic the
+	// default-spread draw.
+	zero := Transmission{From: 0, To: 1, Msg: echoMsg{}, SentAt: 0, TS: testTS, Delta: 0}
+	if f := (Duplicate{Prob: 1}).Fate(zero, rng); len(f.Duplicates) != 1 {
+		t.Errorf("Duplicate with zero Delta: %+v", f)
+	}
+}
+
+// TestReorderBreaksFIFO pins the Reorder policy: the jitter stays within
+// [base, base+Jitter], and with the default 4δ jitter two back-to-back
+// messages on the same link are observably inverted somewhere in a short
+// deterministic sequence.
+func TestReorderBreaksFIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Reorder{Jitter: 2 * testDelta, Base: TargetedDelay{Targets: map[consensus.ProcessID]bool{0: true}, Delay: testDelta}}
+	for i := 0; i < 32; i++ {
+		f := p.Fate(tx(0, 1, testTS/2), rng)
+		if f.Drop {
+			t.Fatalf("reorder must not drop, got %+v", f)
+		}
+		if f.Delay < testDelta || f.Delay > 3*testDelta {
+			t.Errorf("jittered delay %v outside [δ, 3δ]", f.Delay)
+		}
+	}
+	// Default jitter (4δ) inverts consecutive sends: find a pair where the
+	// earlier send arrives later.
+	def := Reorder{}
+	inverted := false
+	var prevArrival time.Duration
+	for i := 0; i < 32; i++ {
+		sent := time.Duration(i) * testDelta / 4
+		f := def.Fate(tx(0, 1, sent), rng)
+		arrival := sent + f.Delay
+		if i > 0 && arrival < prevArrival {
+			inverted = true
+		}
+		prevArrival = arrival
+	}
+	if !inverted {
+		t.Error("default Reorder never inverted delivery order over 32 back-to-back sends")
 	}
 }
 

@@ -260,6 +260,16 @@ func (nw *Network) route(from, to consensus.ProcessID, m consensus.Message) {
 		if delay < 0 {
 			delay = 0
 		}
+		// Network-induced re-deliveries (Duplicate policy). They are not
+		// protocol sends, so only the delivery is accounted.
+		for _, d := range fate.Duplicates {
+			if d < 0 {
+				d = 0
+			}
+			nw.eng.After(d, func() {
+				nw.nodes[to].deliver(from, m)
+			})
+		}
 	}
 
 	nw.eng.After(delay, func() {
