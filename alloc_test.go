@@ -1,0 +1,47 @@
+package repro_test
+
+// Allocation-regression tests for the simulator hot path. The engine-level
+// zero-alloc invariants (schedule/cancel churn, steady-state Step, the
+// delivery sink) are pinned in internal/sim; this file pins the end-to-end
+// budget: a complete modified-Paxos run through the harness — engine,
+// network, trace collector, safety checker, protocol state machines, and
+// stable storage together. The budget is far above the engine's structural
+// zero (protocols box messages and persist state), but far below the
+// pre-overhaul cost (~2100 allocs/run); a regression back to per-event or
+// per-message allocation trips it immediately.
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// allocBudgetFullRun bounds allocations for one N=5 modified-Paxos run
+// (unstable start, TS=200ms). Measured ~355 allocs/run after the pooled
+// event queue, closure-free routing, interned counters, and plain-data
+// stable storage; the pre-overhaul simulator needed ~2100.
+const allocBudgetFullRun = 600
+
+func TestSingleRunAllocBudget(t *testing.T) {
+	cfg := repro.Config{
+		Protocol: repro.ModifiedPaxos, N: 5,
+		Delta: 10 * time.Millisecond, TS: 200 * time.Millisecond,
+		Rho: 0.01, Seed: 7,
+	}
+	run := func() {
+		res, err := repro.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Decided {
+			t.Fatal("run did not decide")
+		}
+	}
+	run() // warm caches (gob type info, plain-data type table)
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > allocBudgetFullRun {
+		t.Fatalf("full run allocated %.0f allocs, budget %d — the simulator hot path regressed",
+			allocs, allocBudgetFullRun)
+	}
+}

@@ -5,10 +5,12 @@
 //
 //	scenario list
 //	scenario run [-backend sim|live|live-tcp] [-seeds N] [-n N] [-delta D]
-//	             [-ts D] [-short] [-format text|json] <name>|all
+//	             [-ts D] [-short] [-format text|json]
+//	             [-cpuprofile F] [-memprofile F] <name>|all
 //	scenario sweep [-axis name=v1,v2,...]... [-zip] [-ns 5,9,17] [-seeds N]
 //	               [-delta D] [-workers W] [-backend B] [-failfast]
-//	               [-format text|csv|json] <name>|all
+//	               [-format text|csv|json]
+//	               [-cpuprofile F] [-memprofile F] <name>|all
 //
 // `list` enumerates the canned scenarios and the registered protocols.
 // `run` executes a scenario across its protocol set and seed matrix and
@@ -31,6 +33,11 @@
 // axis). -format csv|json emits one row per (cell, protocol) carrying the
 // cell's parameters, for plotting. Runs are deterministic in the flags,
 // whatever -workers is.
+//
+// Both run and sweep take -cpuprofile and -memprofile, writing pprof
+// profiles that cover exactly the executed workload — perf work profiles
+// the real scenario engine under the real regime mix instead of a
+// synthetic benchmark (`go tool pprof cpu.prof` to inspect).
 package main
 
 import (
@@ -39,7 +46,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/protocol"
 	"repro/internal/scenario"
@@ -105,6 +115,47 @@ func parseWithName(fs *flag.FlagSet, args []string, usage string) (string, error
 	return name, nil
 }
 
+// withProfiles runs f under the optional CPU and heap profiles — the hooks
+// perf work uses to profile the real scenario workload instead of a
+// synthetic benchmark. The CPU profile covers exactly f; the heap profile
+// is written after f returns (post-GC, so it shows live memory, not churn).
+// Profiles are written even when f fails: a pathological run is exactly the
+// one worth profiling.
+func withProfiles(cpuPath, memPath string, f func() error) error {
+	if cpuPath != "" {
+		fh, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer fh.Close()
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		// Stopped explicitly below, before the heap write, so the forced
+		// GC never shows up as CPU samples; the defer only covers panics.
+		defer pprof.StopCPUProfile()
+	}
+	err := f()
+	if cpuPath != "" {
+		pprof.StopCPUProfile()
+	}
+	if memPath != "" {
+		fh, merr := os.Create(memPath)
+		if merr != nil {
+			if err == nil {
+				err = fmt.Errorf("create mem profile: %w", merr)
+			}
+			return err
+		}
+		defer fh.Close()
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(fh); merr != nil && err == nil {
+			err = fmt.Errorf("write mem profile: %w", merr)
+		}
+	}
+	return err
+}
+
 // resolve expands a name argument to specs: a canned name, or "all".
 func resolve(name string) ([]scenario.Spec, error) {
 	if name == "all" {
@@ -127,6 +178,8 @@ func cmdRun(args []string, out io.Writer) error {
 		ts      = fs.Duration("ts", 0, "TS override (0 = scenario default)")
 		short   = fs.Bool("short", false, "smoke mode: one seed per protocol (for wall-clock live runs)")
 		format  = fs.String("format", "text", "output format: text or json")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the runs to this file")
+		memProf = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	name, err := parseWithName(fs, args, "scenario run [flags] <name>|all")
 	if err != nil {
@@ -139,25 +192,32 @@ func cmdRun(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return withProfiles(*cpuProf, *memProf, func() error {
+		return runSpecs(specs, out, *backend, *seeds, *short, *n, *delta, *ts, *format)
+	})
+}
+
+// runSpecs executes the resolved specs with the run subcommand's overrides.
+func runSpecs(specs []scenario.Spec, out io.Writer, backend string, seeds int, short bool, n int, delta, ts time.Duration, format string) error {
 	violated := 0
 	for _, spec := range specs {
-		if *backend != "" {
-			spec.Backend = *backend
+		if backend != "" {
+			spec.Backend = backend
 		}
-		if *seeds > 0 {
-			spec.Seeds = *seeds
+		if seeds > 0 {
+			spec.Seeds = seeds
 		}
-		if *short {
+		if short {
 			spec.Seeds = 1
 		}
-		if *n > 0 {
-			spec.N = *n
+		if n > 0 {
+			spec.N = n
 		}
-		if *delta > 0 {
-			spec.Delta = *delta
+		if delta > 0 {
+			spec.Delta = delta
 		}
-		if *ts > 0 {
-			spec.TS = *ts
+		if ts > 0 {
+			spec.TS = ts
 			// An explicit TS overrides a scenario's stable-from-start
 			// default, which would otherwise force TS back to zero.
 			spec.StableFromStart = false
@@ -167,7 +227,7 @@ func cmdRun(args []string, out io.Writer) error {
 			return err
 		}
 		violated += len(rep.Violations)
-		if *format == "json" {
+		if format == "json" {
 			s, err := rep.JSON()
 			if err != nil {
 				return err
@@ -220,6 +280,8 @@ func cmdSweep(args []string, out io.Writer) error {
 		backend  = fs.String("backend", "", "execution substrate: "+strings.Join(scenario.BackendNames(), ", ")+" (default: scenario's own, usually sim)")
 		failfast = fs.Bool("failfast", false, "stop scheduling cells after the first violated cell")
 		format   = fs.String("format", "text", "output format: text, csv, or json")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = fs.String("memprofile", "", "write a post-sweep heap profile to this file")
 	)
 	name, err := parseWithName(fs, args, "scenario sweep [flags] <name>|all")
 	if err != nil {
@@ -244,43 +306,45 @@ func cmdSweep(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	violated := 0
-	var reports []*scenario.GridReport
-	for _, spec := range specs {
-		spec.Seeds = *seeds
-		if *delta > 0 {
-			spec.Delta = *delta
-		}
-		if *backend != "" {
-			spec.Backend = *backend
-		}
-		rep, err := scenario.Grid{Base: spec, Axes: gridAxes, Zip: *zip, Workers: *workers, FailFast: *failfast}.Run()
-		if err != nil {
-			return err
-		}
-		violated += rep.TotalViolations()
-		reports = append(reports, rep)
-		if *format == "text" {
-			fmt.Fprintln(out, rep.Text())
-		}
-	}
-	switch *format {
-	case "csv":
-		fmt.Fprintln(out, scenario.GridCSVHeader)
-		for _, rep := range reports {
-			for _, row := range rep.CSVRows() {
-				fmt.Fprintln(out, row)
+	return withProfiles(*cpuProf, *memProf, func() error {
+		violated := 0
+		var reports []*scenario.GridReport
+		for _, spec := range specs {
+			spec.Seeds = *seeds
+			if *delta > 0 {
+				spec.Delta = *delta
+			}
+			if *backend != "" {
+				spec.Backend = *backend
+			}
+			rep, err := scenario.Grid{Base: spec, Axes: gridAxes, Zip: *zip, Workers: *workers, FailFast: *failfast}.Run()
+			if err != nil {
+				return err
+			}
+			violated += rep.TotalViolations()
+			reports = append(reports, rep)
+			if *format == "text" {
+				fmt.Fprintln(out, rep.Text())
 			}
 		}
-	case "json":
-		enc, err := json.MarshalIndent(reports, "", "  ")
-		if err != nil {
-			return err
+		switch *format {
+		case "csv":
+			fmt.Fprintln(out, scenario.GridCSVHeader)
+			for _, rep := range reports {
+				for _, row := range rep.CSVRows() {
+					fmt.Fprintln(out, row)
+				}
+			}
+		case "json":
+			enc, err := json.MarshalIndent(reports, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, string(enc))
 		}
-		fmt.Fprintln(out, string(enc))
-	}
-	if violated > 0 {
-		return fmt.Errorf("%d invariant violation(s) during sweep", violated)
-	}
-	return nil
+		if violated > 0 {
+			return fmt.Errorf("%d invariant violation(s) during sweep", violated)
+		}
+		return nil
+	})
 }

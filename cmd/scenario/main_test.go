@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -274,5 +276,43 @@ func TestSweepFailFast(t *testing.T) {
 	}
 	if !strings.Contains(out, "n=5") {
 		t.Errorf("clean fail-fast sweep must run every cell:\n%s", out)
+	}
+}
+
+// TestProfileFlagsWriteFiles smokes the -cpuprofile/-memprofile hooks on
+// both subcommands: the files must exist and be non-empty pprof output
+// after the command returns.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if out, err := capture(t, "run", "-seeds", "1",
+		"-cpuprofile", cpu, "-memprofile", mem, "baseline-synchronous"); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+
+	cpu2 := filepath.Join(dir, "sweep-cpu.prof")
+	mem2 := filepath.Join(dir, "sweep-mem.prof")
+	if out, err := capture(t, "sweep", "-seeds", "1", "-ns", "3",
+		"-cpuprofile", cpu2, "-memprofile", mem2, "baseline-synchronous"); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, p := range []string{cpu2, mem2} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("sweep profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("sweep profile %s is empty", p)
+		}
 	}
 }

@@ -205,6 +205,15 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Debug {
 		collector.EnableLogging(10000)
 	}
+	// Pre-intern the protocol's wire types (and the oracle's announcement)
+	// into the collector's dense counter table: the run's hot path then
+	// never grows the table, and unknown types still intern lazily.
+	for _, name := range desc.MessageTypes() {
+		collector.Intern(name)
+	}
+	if desc.NeedsLeaderOracle {
+		collector.Intern(leader.Announce{}.Type())
+	}
 	var minDelay time.Duration
 	if cfg.WorstCaseDelays {
 		minDelay = cfg.Delta

@@ -124,6 +124,19 @@ type Descriptor struct {
 	Hidden bool
 }
 
+// MessageTypes returns the wire-type names of the descriptor's Messages —
+// the strings the trace collector interns into dense counter IDs at run
+// setup, so the simulator's per-message accounting never grows the table
+// mid-run. Protocols whose descriptors list their messages get fully
+// pre-interned counters for free.
+func (d Descriptor) MessageTypes() []string {
+	out := make([]string, 0, len(d.Messages))
+	for _, m := range d.Messages {
+		out = append(out, m.Type())
+	}
+	return out
+}
+
 // Build constructs the factory after enforcing capability gates.
 func (d Descriptor) Build(p Params) (consensus.Factory, error) {
 	if p.Prepared && !d.SupportsPrepared {

@@ -57,24 +57,52 @@ func TestCancelPreventsExecution(t *testing.T) {
 	e := NewEngine(1)
 	ran := false
 	ev := e.After(time.Millisecond, func() { ran = true })
+	if !ev.Pending() {
+		t.Fatal("freshly scheduled event should be pending")
+	}
 	ev.Cancel()
 	e.Run(time.Second)
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() should report true")
+	if ev.Pending() {
+		t.Fatal("Pending() should report false after Cancel")
 	}
 }
 
-func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+func TestCancelIsIdempotentAndZeroSafe(t *testing.T) {
 	e := NewEngine(1)
 	ev := e.After(time.Millisecond, func() {})
 	ev.Cancel()
 	ev.Cancel()
-	var nilEv *Event
-	nilEv.Cancel() // must not panic
+	var zero Event
+	zero.Cancel() // must not panic
+	if zero.Pending() {
+		t.Fatal("zero Event cannot be pending")
+	}
 	e.Run(time.Second)
+}
+
+func TestStaleHandleCannotTouchReusedSlot(t *testing.T) {
+	// The engine reuses event slots. A handle to an already-executed (or
+	// canceled) event must be inert even when its slot has been reused by a
+	// newer event — the generation check.
+	e := NewEngine(1)
+	first := e.After(time.Millisecond, func() {})
+	e.Run(2 * time.Millisecond) // first executes; its slot returns to the free list
+	ran := false
+	second := e.After(time.Millisecond, func() { ran = true }) // reuses the slot
+	first.Cancel()                                             // stale: must not cancel second
+	if !second.Pending() {
+		t.Fatal("stale Cancel canceled the slot's new occupant")
+	}
+	e.Run(time.Second)
+	if !ran {
+		t.Fatal("second event did not run")
+	}
+	if first.Pending() || second.Pending() {
+		t.Fatal("no event should be pending after the run")
+	}
 }
 
 func TestRunHorizonStopsAndSetsClock(t *testing.T) {
@@ -133,15 +161,16 @@ func TestRearmChurnKeepsHeapBounded(t *testing.T) {
 	// The SetTimer pattern: every re-arm cancels the previous event. The
 	// heap must stay O(live events), not O(total re-arms).
 	e := NewEngine(1)
-	var ev *Event
+	var ev Event
 	for i := 0; i < 10000; i++ {
-		if ev != nil {
-			ev.Cancel()
-		}
+		ev.Cancel()
 		ev = e.After(time.Millisecond, func() {})
 	}
 	if p := e.Pending(); p != 1 {
 		t.Fatalf("Pending = %d after 10000 re-arms, want 1", p)
+	}
+	if len(e.slots) > 4 {
+		t.Fatalf("slot storage grew to %d under re-arm churn, want a handful", len(e.slots))
 	}
 }
 
@@ -283,12 +312,12 @@ func TestQuickMonotoneExecution(t *testing.T) {
 // under the churn — the regression the eager Cancel removal fixes.
 func BenchmarkCancelRearmChurn(b *testing.B) {
 	e := NewEngine(1)
-	var ev *Event
+	fn := func() {}
+	var ev Event
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if ev != nil {
-			ev.Cancel()
-		}
-		ev = e.After(time.Millisecond, func() {})
+		ev.Cancel()
+		ev = e.After(time.Millisecond, fn)
 		if p := e.Pending(); p > 1 {
 			b.Fatalf("heap grew to %d pending events under re-arm churn", p)
 		}

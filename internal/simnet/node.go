@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -20,10 +21,22 @@ type Node struct {
 	proposal consensus.Value
 	drift    clock.Drift
 
-	proc   consensus.Process
-	up     bool
-	store  *storage.MemStore
-	timers map[consensus.TimerID]*sim.Event
+	proc  consensus.Process
+	up    bool
+	store *storage.MemStore
+
+	// timers is a dense table indexed by TimerID for IDs below
+	// denseTimerCap (protocols declare small integer constants, so their
+	// timers all land here). The zero Event means "not armed". timerFns
+	// caches one firing closure per dense timer ID, created on first arm
+	// and reused by every re-arm — the re-arm churn of a heartbeat
+	// protocol allocates nothing. IDs at or above the cap (the RSM
+	// multiplexes per-slot timers into unbounded ID blocks) fall back to
+	// the sparse map, which holds only live timers so memory stays
+	// bounded by concurrency, not by the highest ID ever armed.
+	timers   []sim.Event
+	timerFns []func()
+	timersXL map[consensus.TimerID]sim.Event
 
 	decided     bool
 	decision    consensus.Value
@@ -42,7 +55,6 @@ func newNode(nw *Network, id consensus.ProcessID, factory consensus.Factory, pro
 		proposal: proposal,
 		drift:    drift,
 		store:    storage.NewMemStore(),
-		timers:   make(map[consensus.TimerID]*sim.Event),
 	}
 }
 
@@ -70,20 +82,26 @@ func (n *Node) crash() {
 	n.up = false
 	n.proc = nil
 	n.crashCount++
-	for id, ev := range n.timers {
+	for i := range n.timers {
+		n.timers[i].Cancel()
+		n.timers[i] = sim.Event{}
+	}
+	for id, ev := range n.timersXL {
 		ev.Cancel()
-		delete(n.timers, id)
+		delete(n.timersXL, id)
 	}
 }
 
-// deliver hands a message to the process if it is up; messages arriving at a
-// crashed process are lost (omission model).
-func (n *Node) deliver(from consensus.ProcessID, m consensus.Message) {
+// deliver hands a message to the process if it is up; messages arriving at
+// a crashed process are lost (omission model). typeID is the message type
+// interned in the run's collector, carried by the delivery event so
+// accounting needs no string handling.
+func (n *Node) deliver(from consensus.ProcessID, m consensus.Message, typeID int) {
 	if !n.up {
-		n.nw.collector.MessageDropped(m.Type())
+		n.nw.collector.DroppedID(typeID)
 		return
 	}
-	n.nw.collector.MessageDelivered(m.Type())
+	n.nw.collector.DeliveredID(typeID)
 	n.proc.HandleMessage(from, m)
 	n.nw.notifyDelivered(from, n.id, m)
 }
@@ -118,27 +136,67 @@ func (n *Node) Broadcast(m consensus.Message) {
 	}
 }
 
+// denseTimerCap bounds the dense timer table: every protocol constant is a
+// single-digit ID, while the RSM's slot-multiplexed IDs grow without bound
+// and must not size a per-node array.
+const denseTimerCap = 32
+
 // SetTimer implements consensus.Environment. The duration counts on the
 // process's local clock; the node converts it to global time. Re-arming an
 // already-pending timer replaces it.
 func (n *Node) SetTimer(id consensus.TimerID, d time.Duration) {
-	if prev, ok := n.timers[id]; ok {
-		prev.Cancel()
+	i := int(id)
+	if i < 0 {
+		panic(fmt.Sprintf("simnet: negative timer ID %d", id))
 	}
 	global := n.drift.GlobalElapsed(d)
-	n.timers[id] = n.nw.eng.After(global, func() {
-		delete(n.timers, id)
-		if n.up {
-			n.proc.HandleTimer(id)
+	if i >= denseTimerCap {
+		// Sparse fallback: one closure per arm (like the pre-overhaul
+		// map), entries deleted on fire/cancel so only live timers are
+		// held.
+		if prev, ok := n.timersXL[id]; ok {
+			prev.Cancel()
 		}
-	})
+		if n.timersXL == nil {
+			n.timersXL = make(map[consensus.TimerID]sim.Event)
+		}
+		n.timersXL[id] = n.nw.eng.After(global, func() {
+			delete(n.timersXL, id)
+			if n.up {
+				n.proc.HandleTimer(id)
+			}
+		})
+		return
+	}
+	for i >= len(n.timers) {
+		n.timers = append(n.timers, sim.Event{})
+		n.timerFns = append(n.timerFns, nil)
+	}
+	n.timers[i].Cancel() // no-op unless armed
+	if n.timerFns[i] == nil {
+		n.timerFns[i] = func() {
+			n.timers[i] = sim.Event{}
+			if n.up {
+				n.proc.HandleTimer(id)
+			}
+		}
+	}
+	n.timers[i] = n.nw.eng.After(global, n.timerFns[i])
 }
 
 // CancelTimer implements consensus.Environment.
 func (n *Node) CancelTimer(id consensus.TimerID) {
-	if ev, ok := n.timers[id]; ok {
-		ev.Cancel()
-		delete(n.timers, id)
+	i := int(id)
+	if i >= denseTimerCap {
+		if ev, ok := n.timersXL[id]; ok {
+			ev.Cancel()
+			delete(n.timersXL, id)
+		}
+		return
+	}
+	if i >= 0 && i < len(n.timers) {
+		n.timers[i].Cancel()
+		n.timers[i] = sim.Event{}
 	}
 }
 

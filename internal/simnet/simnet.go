@@ -114,6 +114,13 @@ func New(eng *sim.Engine, cfg Config, factory consensus.Factory, proposals []con
 		collector: cfg.Collector,
 		checker:   consensus.NewSafetyChecker(),
 	}
+	// All message traffic flows through the engine's delivery sink: one
+	// closure per network instead of one per message in flight. The sink's
+	// aux value is the interned message-type ID, so delivery accounting
+	// never re-hashes the type string.
+	eng.SetDeliverySink(func(from, to int32, aux int64, payload any) {
+		nw.nodes[to].deliver(consensus.ProcessID(from), payload.(consensus.Message), int(aux))
+	})
 	for i := 0; i < cfg.N; i++ {
 		id := consensus.ProcessID(i)
 		d := nw.driftFor(id)
@@ -200,9 +207,7 @@ func (nw *Network) RestartsPending() int { return nw.pendingRestarts }
 // messages ("sent" by failed processes before TS) and oracles use it for
 // out-of-band announcements.
 func (nw *Network) Inject(at time.Duration, from, to consensus.ProcessID, m consensus.Message) {
-	nw.eng.Schedule(at, func() {
-		nw.nodes[to].deliver(from, m)
-	})
+	nw.eng.ScheduleDelivery(at, int32(from), int32(to), int64(nw.collector.Intern(m.Type())), m)
 }
 
 // Observe registers a delivery observer.
@@ -240,9 +245,13 @@ func (nw *Network) AllIDs() []consensus.ProcessID {
 	return ids
 }
 
-// route computes and schedules delivery of a protocol message.
+// route computes and schedules delivery of a protocol message. The hot
+// path is allocation-free: the delivery is a pooled sink event carrying
+// (from, to, interned type ID, message) — no per-message closure — and the
+// counters are interned-ID increments, not locked map writes.
 func (nw *Network) route(from, to consensus.ProcessID, m consensus.Message) {
-	nw.collector.MessageSent(m.Type())
+	typeID := nw.collector.Intern(m.Type())
+	nw.collector.SentID(typeID)
 	now := nw.eng.Now()
 
 	var delay time.Duration
@@ -253,7 +262,7 @@ func (nw *Network) route(from, to consensus.ProcessID, m consensus.Message) {
 	} else {
 		fate := nw.cfg.Policy.Fate(Transmission{From: from, To: to, Msg: m, SentAt: now, TS: nw.cfg.TS, Delta: nw.cfg.Delta}, nw.eng.Rand())
 		if fate.Drop {
-			nw.collector.MessageDropped(m.Type())
+			nw.collector.DroppedID(typeID)
 			return
 		}
 		delay = fate.Delay
@@ -266,15 +275,11 @@ func (nw *Network) route(from, to consensus.ProcessID, m consensus.Message) {
 			if d < 0 {
 				d = 0
 			}
-			nw.eng.After(d, func() {
-				nw.nodes[to].deliver(from, m)
-			})
+			nw.eng.ScheduleDelivery(now+d, int32(from), int32(to), int64(typeID), m)
 		}
 	}
 
-	nw.eng.After(delay, func() {
-		nw.nodes[to].deliver(from, m)
-	})
+	nw.eng.ScheduleDelivery(now+delay, int32(from), int32(to), int64(typeID), m)
 }
 
 // RunUntilAllDecided runs the simulation until every currently-up process

@@ -357,3 +357,57 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatalf("identical seeds diverged: (%v,%d) vs (%v,%d)", t1, m1, t2, m2)
 	}
 }
+
+func TestSparseTimerIDsStayBounded(t *testing.T) {
+	// The RSM multiplexes per-slot timers into unbounded ID blocks
+	// (slot*timersPerSlot + id). Those must not size the dense per-node
+	// timer table: large IDs take the sparse map, which holds only live
+	// timers, and they must still fire and cancel correctly.
+	eng, nw := build(t, Config{N: 1, Delta: 10 * time.Millisecond})
+	node := nw.Node(0)
+
+	// March through ever-growing IDs, canceling each before arming the
+	// next — the RSM's advancing-slot shape.
+	for slot := 0; slot < 1000; slot++ {
+		id := consensus.TimerID(slot*8 + 1)
+		node.SetTimer(id, 50*time.Millisecond)
+		node.CancelTimer(id)
+	}
+	if got := len(node.timers); got > denseTimerCap {
+		t.Fatalf("dense timer table grew to %d entries under sparse IDs, cap is %d", got, denseTimerCap)
+	}
+	if got := len(node.timersXL); got != 0 {
+		t.Fatalf("sparse timer map holds %d entries after cancels, want 0", got)
+	}
+	if p := eng.Pending(); p != 0 {
+		t.Fatalf("engine has %d pending events after all cancels, want 0", p)
+	}
+
+	// A sparse timer re-arms (replacing the pending one) and fires.
+	node.SetTimer(9999, time.Hour)
+	node.SetTimer(9999, 10*time.Millisecond)
+	if p := eng.Pending(); p != 1 {
+		t.Fatalf("re-arming a sparse timer left %d events pending, want 1", p)
+	}
+	fired := false
+	node.up = true
+	node.proc = timerRecorder{onTimer: func(id consensus.TimerID) {
+		if id == 9999 {
+			fired = true
+		}
+	}}
+	eng.Run(time.Second)
+	if !fired {
+		t.Fatal("sparse timer did not fire")
+	}
+	if got := len(node.timersXL); got != 0 {
+		t.Fatalf("sparse timer map holds %d entries after firing, want 0", got)
+	}
+}
+
+// timerRecorder is a minimal Process capturing HandleTimer calls.
+type timerRecorder struct{ onTimer func(consensus.TimerID) }
+
+func (timerRecorder) Init(consensus.Environment)                           {}
+func (timerRecorder) HandleMessage(consensus.ProcessID, consensus.Message) {}
+func (r timerRecorder) HandleTimer(id consensus.TimerID)                   { r.onTimer(id) }

@@ -4,9 +4,10 @@
 // so it can restart after failure by simply resuming where it left off."
 //
 // Two implementations are provided: an in-memory store used by the
-// deterministic simulator (values are gob round-tripped so the store holds
-// deep copies, exactly like real persistence), and a file-backed store used
-// by the live goroutine runtime.
+// deterministic simulator (the store holds isolated copies — plain-data
+// values as boxed copies, everything else gob round-tripped — exactly like
+// real persistence), and a file-backed store used by the live goroutine
+// runtime.
 package storage
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"sync"
 )
@@ -34,14 +36,23 @@ type Store interface {
 	Keys() ([]string, error)
 }
 
-// MemStore is an in-memory Store. Values are stored as encoded bytes, so a
-// Get never aliases memory written by Put — mutating a value after Put does
-// not change what a later Get returns, matching disk semantics.
+// MemStore is an in-memory Store. A Get never aliases memory written by
+// Put — mutating a value after Put does not change what a later Get
+// returns, matching disk semantics.
+//
+// Two representations provide that guarantee. Values whose type is plain
+// data — no pointers, slices, maps, or other mutable indirection (strings
+// are immutable, so they count as plain) — are kept as the boxed copy Put
+// received: the caller cannot reach that copy, so it is already as
+// isolated as encoded bytes, for free. Every protocol's durable state is
+// such a struct, which takes the gob round-trip out of the simulator's
+// persist path entirely. Other types fall back to the gob round-trip.
 //
 // MemStore is safe for concurrent use. The zero value is ready to use.
 type MemStore struct {
-	mu   sync.Mutex
-	data map[string][]byte
+	mu    sync.Mutex
+	data  map[string][]byte // gob-encoded values (types with indirection)
+	plain map[string]any    // boxed copies (plain-data types)
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -51,6 +62,16 @@ var _ Store = (*MemStore)(nil)
 
 // Put implements Store.
 func (s *MemStore) Put(key string, value any) error {
+	if value != nil && isPlainData(reflect.TypeOf(value)) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.plain == nil {
+			s.plain = make(map[string]any)
+		}
+		s.plain[key] = value
+		delete(s.data, key) // the key may previously have held an encoded value
+		return nil
+	}
 	buf, err := encode(value)
 	if err != nil {
 		return fmt.Errorf("storage: put %q: %w", key, err)
@@ -61,14 +82,28 @@ func (s *MemStore) Put(key string, value any) error {
 		s.data = make(map[string][]byte)
 	}
 	s.data[key] = buf
+	delete(s.plain, key)
 	return nil
 }
 
 // Get implements Store.
 func (s *MemStore) Get(key string, out any) (bool, error) {
 	s.mu.Lock()
+	v, plainOK := s.plain[key]
 	buf, ok := s.data[key]
 	s.mu.Unlock()
+	if plainOK {
+		rout := reflect.ValueOf(out)
+		if rout.Kind() != reflect.Pointer || rout.IsNil() {
+			return false, fmt.Errorf("storage: get %q: out must be a non-nil pointer", key)
+		}
+		rv := reflect.ValueOf(v)
+		if rv.Type() != rout.Elem().Type() {
+			return false, fmt.Errorf("storage: get %q: stored %s, requested %s", key, rv.Type(), rout.Elem().Type())
+		}
+		rout.Elem().Set(rv)
+		return true, nil
+	}
 	if !ok {
 		return false, nil
 	}
@@ -83,6 +118,7 @@ func (s *MemStore) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.data, key)
+	delete(s.plain, key)
 	return nil
 }
 
@@ -90,12 +126,60 @@ func (s *MemStore) Delete(key string) error {
 func (s *MemStore) Keys() ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.data))
+	keys := make([]string, 0, len(s.data)+len(s.plain))
 	for k := range s.data {
+		keys = append(keys, k)
+	}
+	for k := range s.plain {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	return keys, nil
+}
+
+// plainDataTypes caches the per-type verdict of isPlainData.
+var plainDataTypes sync.Map // reflect.Type → bool
+
+// isPlainData reports whether values of t carry no mutable indirection: a
+// copy of such a value shares nothing mutable with the original, so storing
+// the copy is equivalent to storing encoded bytes. Strings qualify because
+// Go strings are immutable; pointers, slices, maps, chans, funcs, and
+// interfaces do not.
+func isPlainData(t reflect.Type) bool {
+	if v, ok := plainDataTypes.Load(t); ok {
+		return v.(bool)
+	}
+	plain := computePlainData(t)
+	plainDataTypes.Store(t, plain)
+	return plain
+}
+
+func computePlainData(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return true
+	case reflect.Array:
+		return computePlainData(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			// Unexported fields force the gob fallback: gob drops them
+			// (and errors when no exported field exists), and the sim's
+			// store must restore exactly what the live FileStore would —
+			// persisting more state than gob does would make crash
+			// recovery diverge between substrates.
+			if f.PkgPath != "" || !computePlainData(f.Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
 }
 
 // FileStore persists each key as a gob file in a directory, writing through

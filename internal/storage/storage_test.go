@@ -158,3 +158,120 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMemStorePlainFastPath pins the behaviour of the plain-data
+// representation the simulator's persist hot path rides on: struct values
+// without mutable indirection skip the gob round-trip but must keep the
+// exact same isolation and typing semantics as the encoded path.
+func TestMemStorePlainFastPath(t *testing.T) {
+	type durable struct {
+		MBal    int
+		Val     string
+		Decided bool
+	}
+	s := NewMemStore()
+	v := durable{MBal: 3, Val: "x", Decided: true}
+	if err := s.Put("state", v); err != nil {
+		t.Fatal(err)
+	}
+	v.MBal = 99 // mutating the caller's copy must not reach the store
+	var got durable
+	ok, err := s.Get("state", &got)
+	if err != nil || !ok {
+		t.Fatalf("Get = (%v, %v)", ok, err)
+	}
+	if got != (durable{MBal: 3, Val: "x", Decided: true}) {
+		t.Fatalf("Get returned %+v", got)
+	}
+
+	// Type mismatch errors like the gob path would.
+	var wrong int
+	if _, err := s.Get("state", &wrong); err == nil {
+		t.Fatal("Get into mismatched type should error")
+	}
+
+	// A key can move between representations; the old value must not
+	// shadow the new one, in either direction.
+	if err := s.Put("state", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	var sl []int
+	if ok, err := s.Get("state", &sl); err != nil || !ok || len(sl) != 1 {
+		t.Fatalf("after plain→gob rewrite: Get = (%v, %v, %v)", sl, ok, err)
+	}
+	if err := s.Put("state", durable{MBal: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s.Get("state", &got); err != nil || !ok || got.MBal != 7 {
+		t.Fatalf("after gob→plain rewrite: Get = (%+v, %v, %v)", got, ok, err)
+	}
+
+	// Keys sees both representations exactly once.
+	if err := s.Put("enc", map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "enc" || keys[1] != "state" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if err := s.Delete("state"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Get("state", &got); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+// TestMemStorePutIsCheap pins the allocation budget of the persist hot
+// path: a steady-state Put of a plain-data struct must cost at most the
+// caller's interface boxing plus the map write — no encoder machinery.
+func TestMemStorePutIsCheap(t *testing.T) {
+	type durable struct {
+		MBal    int
+		Val     string
+		Decided bool
+	}
+	s := NewMemStore()
+	v := durable{MBal: 1, Val: "v"}
+	if err := s.Put("state", v); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		v.MBal++
+		if err := s.Put("state", v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 { // the box Put's any parameter forces
+		t.Fatalf("plain-data Put allocated %.1f allocs/op, want ≤ 1", allocs)
+	}
+}
+
+// TestMemStoreUnexportedFieldsMatchGobSemantics pins the substrate-parity
+// rule: a struct with unexported fields must take the gob fallback, so the
+// simulator's MemStore restores exactly what the live FileStore would —
+// exported fields only.
+func TestMemStoreUnexportedFieldsMatchGobSemantics(t *testing.T) {
+	type mixed struct {
+		Exported int
+		hidden   int
+	}
+	s := NewMemStore()
+	if err := s.Put("k", mixed{Exported: 5, hidden: 9}); err != nil {
+		t.Fatal(err)
+	}
+	var got mixed
+	ok, err := s.Get("k", &got)
+	if err != nil || !ok {
+		t.Fatalf("Get = (%v, %v)", ok, err)
+	}
+	if got.Exported != 5 {
+		t.Fatalf("exported field lost: %+v", got)
+	}
+	if got.hidden != 0 {
+		t.Fatalf("unexported field persisted (%+v); gob would have dropped it", got)
+	}
+}

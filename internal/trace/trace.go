@@ -27,6 +27,14 @@ type Sample struct {
 
 // Collector accumulates the events of one run. The zero value is ready to
 // use.
+//
+// Message counting has two write paths. The single-threaded simulator
+// interns message-type strings into dense IDs (Intern) and bumps plain
+// per-ID counters (SentID/DeliveredID/DroppedID) — no lock, no map, no
+// allocation per message. The live goroutine runtime keeps using the
+// mutexed string-keyed methods (MessageSent/MessageDelivered/
+// MessageDropped). Every reader merges both tables, so reports are
+// identical whichever substrate fed the collector.
 type Collector struct {
 	mu sync.Mutex
 
@@ -38,10 +46,53 @@ type Collector struct {
 	logLimit  int
 	logging   bool
 	observers []func(kind string, s Sample)
+
+	// Interned counter table: ids maps a type name to its dense ID (an
+	// index into types and the three counter slices). Written only by the
+	// single-threaded sim backend; see Intern.
+	ids         map[string]int
+	types       []string
+	sentByID    []int64
+	deliveredID []int64
+	droppedByID []int64
 }
 
 // NewCollector returns an empty collector with logging disabled.
 func NewCollector() *Collector { return &Collector{} }
+
+// Intern returns the dense counter ID for a message-type name, assigning
+// the next ID on first use. The interned fast path is deliberately
+// lock-free: only the deterministic simulator — a single goroutine — calls
+// Intern and the per-ID increment methods, and its results are read after
+// the run completes. Concurrent writers (the live runtime) must use the
+// mutexed string-keyed methods instead.
+//
+// The protocol registry's Messages lists are pre-interned by the harness at
+// run setup, so in the steady state Intern is a single map read.
+func (c *Collector) Intern(name string) int {
+	if id, ok := c.ids[name]; ok {
+		return id
+	}
+	if c.ids == nil {
+		c.ids = make(map[string]int, 8)
+	}
+	id := len(c.types)
+	c.ids[name] = id
+	c.types = append(c.types, name)
+	c.sentByID = append(c.sentByID, 0)
+	c.deliveredID = append(c.deliveredID, 0)
+	c.droppedByID = append(c.droppedByID, 0)
+	return id
+}
+
+// SentID records a send on the interned fast path (sim backend only).
+func (c *Collector) SentID(id int) { c.sentByID[id]++ }
+
+// DeliveredID records a delivery on the interned fast path.
+func (c *Collector) DeliveredID(id int) { c.deliveredID[id]++ }
+
+// DroppedID records a drop on the interned fast path.
+func (c *Collector) DroppedID(id int) { c.droppedByID[id]++ }
 
 // EnableLogging turns on retention of Logf lines, keeping at most limit
 // lines (0 means unlimited).
@@ -141,6 +192,9 @@ func (c *Collector) TotalSent() int {
 	for _, n := range c.sent {
 		total += n
 	}
+	for _, n := range c.sentByID {
+		total += int(n)
+	}
 	return total
 }
 
@@ -152,18 +206,47 @@ func (c *Collector) TotalDropped() int {
 	for _, n := range c.dropped {
 		total += n
 	}
+	for _, n := range c.droppedByID {
+		total += int(n)
+	}
 	return total
+}
+
+// merged returns the union of a string-keyed count map and an interned
+// counter column, skipping zero entries of the interned table (a
+// pre-interned type the run never used must not surface as "type: 0").
+func (c *Collector) merged(m map[string]int, byID []int64) map[string]int {
+	out := make(map[string]int, len(m)+len(byID))
+	for k, v := range m {
+		out[k] = v
+	}
+	for id, v := range byID {
+		if v != 0 {
+			out[c.types[id]] += int(v)
+		}
+	}
+	return out
 }
 
 // SentByType returns a copy of the per-type send counts.
 func (c *Collector) SentByType() map[string]int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[string]int, len(c.sent))
-	for k, v := range c.sent {
-		out[k] = v
-	}
-	return out
+	return c.merged(c.sent, c.sentByID)
+}
+
+// DeliveredByType returns a copy of the per-type delivery counts.
+func (c *Collector) DeliveredByType() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merged(c.delivered, c.deliveredID)
+}
+
+// DroppedByType returns a copy of the per-type drop counts.
+func (c *Collector) DroppedByType() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.merged(c.dropped, c.droppedByID)
 }
 
 // SentBetween returns how many send events of series-agnostic messages
@@ -215,15 +298,25 @@ func (c *Collector) MaxSeriesValueAt(kind string, at time.Duration) (int64, bool
 	return best, found
 }
 
-// MessageReport formats the send/deliver/drop counts as a small table.
+// MessageReport formats the send/deliver/drop counts as a small table. The
+// three tables are snapshotted under one lock so the report is a coherent
+// instant even while a live cluster is still feeding the collector.
 func (c *Collector) MessageReport() string {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	sent := c.merged(c.sent, c.sentByID)
+	delivered := c.merged(c.delivered, c.deliveredID)
+	dropped := c.merged(c.dropped, c.droppedByID)
+	c.mu.Unlock()
 	types := make(map[string]bool)
-	for k := range c.sent {
+	for k := range sent {
 		types[k] = true
 	}
-	for k := range c.dropped {
+	for k := range delivered {
+		// Delivered-only types exist: oracle/adversary Inject traffic is
+		// not a protocol send but must still show in the table.
+		types[k] = true
+	}
+	for k := range dropped {
 		types[k] = true
 	}
 	names := make([]string, 0, len(types))
@@ -234,7 +327,7 @@ func (c *Collector) MessageReport() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s %8s %10s %8s\n", "type", "sent", "delivered", "dropped")
 	for _, k := range names {
-		fmt.Fprintf(&b, "%-14s %8d %10d %8d\n", k, c.sent[k], c.delivered[k], c.dropped[k])
+		fmt.Fprintf(&b, "%-14s %8d %10d %8d\n", k, sent[k], delivered[k], dropped[k])
 	}
 	return b.String()
 }

@@ -188,3 +188,50 @@ func TestSummaryStrings(t *testing.T) {
 		t.Fatalf("StringInDelta = %q", str)
 	}
 }
+
+// TestInternedCountersMergeWithStringPath checks the two write paths — the
+// simulator's interned lock-free counters and the live runtime's mutexed
+// string-keyed methods — surface as one merged table to every reader, and
+// that pre-interned types the run never used stay invisible.
+func TestInternedCountersMergeWithStringPath(t *testing.T) {
+	c := NewCollector()
+	p1a := c.Intern("p1a")
+	unused := c.Intern("never-sent")
+	if p1a == unused {
+		t.Fatal("distinct names interned to one ID")
+	}
+	if again := c.Intern("p1a"); again != p1a {
+		t.Fatalf("re-intern returned %d, want %d", again, p1a)
+	}
+	c.SentID(p1a)
+	c.SentID(p1a)
+	c.DeliveredID(p1a)
+	c.DroppedID(p1a)
+	c.MessageSent("p1a") // live-path write to the same type name
+	c.MessageSent("live-only")
+	c.MessageDropped("live-only")
+
+	if got := c.TotalSent(); got != 4 {
+		t.Fatalf("TotalSent = %d, want 4", got)
+	}
+	if got := c.TotalDropped(); got != 2 {
+		t.Fatalf("TotalDropped = %d, want 2", got)
+	}
+	sent := c.SentByType()
+	if sent["p1a"] != 3 || sent["live-only"] != 1 {
+		t.Fatalf("SentByType = %v", sent)
+	}
+	if _, ok := sent["never-sent"]; ok {
+		t.Fatalf("unused pre-interned type surfaced in SentByType: %v", sent)
+	}
+	if got := c.DeliveredByType()["p1a"]; got != 1 {
+		t.Fatalf("DeliveredByType[p1a] = %d, want 1", got)
+	}
+	report := c.MessageReport()
+	if !strings.Contains(report, "p1a") || !strings.Contains(report, "live-only") {
+		t.Fatalf("MessageReport missing merged rows:\n%s", report)
+	}
+	if strings.Contains(report, "never-sent") {
+		t.Fatalf("MessageReport shows unused type:\n%s", report)
+	}
+}
