@@ -23,6 +23,13 @@ import (
 // stable storage; the pre-overhaul simulator needed ~2100.
 const allocBudgetFullRun = 600
 
+// allocBudgetObservedRun bounds the same run with Observe on (phase spans,
+// latency histograms). Observation adds bounded per-run structures — the
+// span ring, interned histogram tables, a handful of per-process
+// observations — never per-event or per-message allocation, so the budget
+// is a fixed increment over the plain run, not a multiple of it.
+const allocBudgetObservedRun = allocBudgetFullRun + 300
+
 func TestSingleRunAllocBudget(t *testing.T) {
 	cfg := repro.Config{
 		Protocol: repro.ModifiedPaxos, N: 5,
@@ -44,4 +51,17 @@ func TestSingleRunAllocBudget(t *testing.T) {
 		t.Fatalf("full run allocated %.0f allocs, budget %d — the simulator hot path regressed",
 			allocs, allocBudgetFullRun)
 	}
+
+	// The observability instrumentation must stay a disabled branch on this
+	// path: the same budget holds, because Observe=false above already runs
+	// every instrumented call site (spans, histograms) with collection off.
+	// With Observe=true the cost is a bounded increment.
+	cfg.Observe = true
+	run()
+	observed := testing.AllocsPerRun(20, run)
+	if observed > allocBudgetObservedRun {
+		t.Fatalf("observed run allocated %.0f allocs, budget %d — observation is no longer O(1) per run",
+			observed, allocBudgetObservedRun)
+	}
+	t.Logf("plain %.0f allocs/run, observed %.0f", allocs, observed)
 }

@@ -6,10 +6,11 @@
 //	scenario list
 //	scenario run [-backend sim|live|live-tcp] [-seeds N] [-n N] [-delta D]
 //	             [-ts D] [-short] [-format text|json]
+//	             [-observe] [-timeline out.json] [-hist]
 //	             [-cpuprofile F] [-memprofile F] <name>|all
 //	scenario sweep [-axis name=v1,v2,...]... [-zip] [-ns 5,9,17] [-seeds N]
 //	               [-delta D] [-workers W] [-backend B] [-failfast]
-//	               [-format text|csv|json]
+//	               [-observe] [-format text|csv|json]
 //	               [-cpuprofile F] [-memprofile F] <name>|all
 //
 // `list` enumerates the canned scenarios and the registered protocols.
@@ -34,6 +35,14 @@
 // cell's parameters, for plotting. Runs are deterministic in the flags,
 // whatever -workers is.
 //
+// Observability: -observe records phase spans and latency histograms on
+// every run (identical schedules — observation consumes no randomness);
+// reports then carry per-protocol decision-latency quantiles, and sweep CSVs
+// populate the decision_p50/p95/p99 columns. `run -timeline out.json` writes
+// all runs as one Chrome-trace timeline (open in chrome://tracing or
+// ui.perfetto.dev); `run -hist` prints every histogram merged across runs.
+// Both imply -observe.
+//
 // Both run and sweep take -cpuprofile and -memprofile, writing pprof
 // profiles that cover exactly the executed workload — perf work profiles
 // the real scenario engine under the real regime mix instead of a
@@ -53,6 +62,7 @@ import (
 
 	"repro/internal/protocol"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -171,15 +181,18 @@ func resolve(name string) ([]scenario.Spec, error) {
 func cmdRun(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
 	var (
-		backend = fs.String("backend", "", "execution substrate: "+strings.Join(scenario.BackendNames(), ", ")+" (default: scenario's own, usually sim)")
-		seeds   = fs.Int("seeds", 0, "seeds per protocol (0 = scenario default)")
-		n       = fs.Int("n", 0, "cluster size (0 = scenario default)")
-		delta   = fs.Duration("delta", 0, "δ override (0 = scenario default)")
-		ts      = fs.Duration("ts", 0, "TS override (0 = scenario default)")
-		short   = fs.Bool("short", false, "smoke mode: one seed per protocol (for wall-clock live runs)")
-		format  = fs.String("format", "text", "output format: text or json")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the runs to this file")
-		memProf = fs.String("memprofile", "", "write a post-run heap profile to this file")
+		backend  = fs.String("backend", "", "execution substrate: "+strings.Join(scenario.BackendNames(), ", ")+" (default: scenario's own, usually sim)")
+		seeds    = fs.Int("seeds", 0, "seeds per protocol (0 = scenario default)")
+		n        = fs.Int("n", 0, "cluster size (0 = scenario default)")
+		delta    = fs.Duration("delta", 0, "δ override (0 = scenario default)")
+		ts       = fs.Duration("ts", 0, "TS override (0 = scenario default)")
+		short    = fs.Bool("short", false, "smoke mode: one seed per protocol (for wall-clock live runs)")
+		format   = fs.String("format", "text", "output format: text or json")
+		observe  = fs.Bool("observe", false, "enable phase spans and latency histograms (reports gain decision-latency quantiles)")
+		timeline = fs.String("timeline", "", "write a Chrome-trace timeline of every run to this file (implies -observe)")
+		hist     = fs.Bool("hist", false, "print merged histogram summaries after each report (implies -observe)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the runs to this file")
+		memProf  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	name, err := parseWithName(fs, args, "scenario run [flags] <name>|all")
 	if err != nil {
@@ -193,41 +206,68 @@ func cmdRun(args []string, out io.Writer) error {
 		return err
 	}
 	return withProfiles(*cpuProf, *memProf, func() error {
-		return runSpecs(specs, out, *backend, *seeds, *short, *n, *delta, *ts, *format)
+		return runSpecs(specs, out, runOpts{
+			backend: *backend, seeds: *seeds, short: *short, n: *n,
+			delta: *delta, ts: *ts, format: *format,
+			observe: *observe, timeline: *timeline, hist: *hist,
+		})
 	})
 }
 
+// runOpts carries the run subcommand's overrides.
+type runOpts struct {
+	backend  string
+	seeds    int
+	short    bool
+	n        int
+	delta    time.Duration
+	ts       time.Duration
+	format   string
+	observe  bool
+	timeline string
+	hist     bool
+}
+
 // runSpecs executes the resolved specs with the run subcommand's overrides.
-func runSpecs(specs []scenario.Spec, out io.Writer, backend string, seeds int, short bool, n int, delta, ts time.Duration, format string) error {
+func runSpecs(specs []scenario.Spec, out io.Writer, opts runOpts) error {
+	observe := opts.observe || opts.timeline != "" || opts.hist
 	violated := 0
+	// One timeline file spans every run of every spec: one Chrome-trace
+	// "process" per run, lanes (threads) per consensus process within it.
+	var procs []trace.TimelineProcess
 	for _, spec := range specs {
-		if backend != "" {
-			spec.Backend = backend
+		if opts.backend != "" {
+			spec.Backend = opts.backend
 		}
-		if seeds > 0 {
-			spec.Seeds = seeds
+		if opts.seeds > 0 {
+			spec.Seeds = opts.seeds
 		}
-		if short {
+		if opts.short {
 			spec.Seeds = 1
 		}
-		if n > 0 {
-			spec.N = n
+		if opts.n > 0 {
+			spec.N = opts.n
 		}
-		if delta > 0 {
-			spec.Delta = delta
+		if opts.delta > 0 {
+			spec.Delta = opts.delta
 		}
-		if ts > 0 {
-			spec.TS = ts
+		if opts.ts > 0 {
+			spec.TS = opts.ts
 			// An explicit TS overrides a scenario's stable-from-start
 			// default, which would otherwise force TS back to zero.
 			spec.StableFromStart = false
+		}
+		if observe {
+			spec.Observe = true
+			// Snapshots and merged histograms read the raw runs.
+			spec.KeepRuns = true
 		}
 		rep, err := scenario.Run(spec)
 		if err != nil {
 			return err
 		}
 		violated += len(rep.Violations)
-		if format == "json" {
+		if opts.format == "json" {
 			s, err := rep.JSON()
 			if err != nil {
 				return err
@@ -236,6 +276,40 @@ func runSpecs(specs []scenario.Spec, out io.Writer, backend string, seeds int, s
 		} else {
 			fmt.Fprintln(out, rep.Text())
 		}
+		if opts.hist {
+			fmt.Fprintf(out, "histograms (merged over %d runs):\n", len(rep.Runs()))
+			for _, s := range rep.HistogramSummaries() {
+				fmt.Fprintln(out, "  "+s.String())
+			}
+			fmt.Fprintln(out)
+		}
+		if opts.timeline != "" {
+			for _, run := range rep.Runs() {
+				name := fmt.Sprintf("%s/%s/seed=%d", rep.Scenario, run.Protocol, run.Seed)
+				if rep.Backend != scenario.BackendSim {
+					name += "/" + rep.Backend
+				}
+				procs = append(procs, trace.TimelineProcess{
+					PID:  len(procs),
+					Name: name,
+					Snap: run.Res.Collector.Snapshot(),
+				})
+			}
+		}
+	}
+	if opts.timeline != "" {
+		fh, err := os.Create(opts.timeline)
+		if err != nil {
+			return fmt.Errorf("create timeline: %w", err)
+		}
+		werr := trace.WriteChromeTrace(fh, procs)
+		if cerr := fh.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("write timeline: %w", werr)
+		}
+		fmt.Fprintf(out, "timeline: %d run(s) written to %s (open in chrome://tracing or ui.perfetto.dev)\n", len(procs), opts.timeline)
 	}
 	if violated > 0 {
 		return fmt.Errorf("%d invariant violation(s)", violated)
@@ -279,6 +353,7 @@ func cmdSweep(args []string, out io.Writer) error {
 		workers  = fs.Int("workers", 0, "worker pool size shared across all cells (0 = GOMAXPROCS)")
 		backend  = fs.String("backend", "", "execution substrate: "+strings.Join(scenario.BackendNames(), ", ")+" (default: scenario's own, usually sim)")
 		failfast = fs.Bool("failfast", false, "stop scheduling cells after the first violated cell")
+		observe  = fs.Bool("observe", false, "enable latency histograms (CSV decision_p50/p95/p99 columns populate)")
 		format   = fs.String("format", "text", "output format: text, csv, or json")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = fs.String("memprofile", "", "write a post-sweep heap profile to this file")
@@ -316,6 +391,9 @@ func cmdSweep(args []string, out io.Writer) error {
 			}
 			if *backend != "" {
 				spec.Backend = *backend
+			}
+			if *observe {
+				spec.Observe = true
 			}
 			rep, err := scenario.Grid{Base: spec, Axes: gridAxes, Zip: *zip, Workers: *workers, FailFast: *failfast}.Run()
 			if err != nil {

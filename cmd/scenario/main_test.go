@@ -176,8 +176,8 @@ func TestSweepCSV(t *testing.T) {
 		t.Fatalf("got %d CSV rows, want 4:\n%s", len(lines)-1, out)
 	}
 	for _, line := range lines[1:] {
-		if fields := strings.Split(line, ","); len(fields) != 17 {
-			t.Fatalf("row has %d fields, want 17: %q", len(fields), line)
+		if fields := strings.Split(line, ","); len(fields) != 20 {
+			t.Fatalf("row has %d fields, want 20: %q", len(fields), line)
 		}
 	}
 }
@@ -276,6 +276,74 @@ func TestSweepFailFast(t *testing.T) {
 	}
 	if !strings.Contains(out, "n=5") {
 		t.Errorf("clean fail-fast sweep must run every cell:\n%s", out)
+	}
+}
+
+// TestRunTimelineFlag smokes the -timeline exporter end to end: the file
+// must be a valid Chrome trace with one pid per run and, for the
+// round-based protocol, at least one round span on every node lane.
+func TestRunTimelineFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tl.json")
+	out, err := capture(t, "run", "-seeds", "1", "-n", "3",
+		"-timeline", path, "-hist", "baseline-synchronous")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "timeline: 4 run(s) written to "+path) {
+		t.Errorf("missing timeline confirmation line:\n%s", out)
+	}
+	// -hist printed merged summaries alongside the report.
+	if !strings.Contains(out, "histograms (merged over 4 runs):") ||
+		!strings.Contains(out, "decide-latency") {
+		t.Errorf("-hist output missing merged summaries:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("timeline is not valid Chrome-trace JSON: %v", err)
+	}
+	// Locate the round-based run via its process_name metadata.
+	rbPID := -1
+	pids := make(map[int]bool)
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if n, _ := ev.Args["name"].(string); strings.Contains(n, "/roundbased/") {
+				rbPID = ev.PID
+			}
+		}
+	}
+	if len(pids) != 4 {
+		t.Errorf("timeline has %d pids, want 4 (one per protocol run)", len(pids))
+	}
+	if rbPID < 0 {
+		t.Fatal("no process_name metadata names the roundbased run")
+	}
+	// Every node lane (tid = proc+1; tid 0 is the run-level lane) of the
+	// round-based run carries at least one round span.
+	rounds := make(map[int]int)
+	for _, ev := range doc.TraceEvents {
+		if ev.PID == rbPID && ev.Ph == "X" && ev.Cat == "round" {
+			rounds[ev.TID]++
+		}
+	}
+	for tid := 1; tid <= 3; tid++ {
+		if rounds[tid] == 0 {
+			t.Errorf("node lane tid=%d of the roundbased run has no round span (got %v)", tid, rounds)
+		}
 	}
 }
 

@@ -242,6 +242,7 @@ func (p *Process) enterRound(r int64) {
 	p.stage = stageWab
 	p.hasMaj = false
 	p.env.Emit("round", r)
+	consensus.BeginSpan(p.env, "round", r)
 	p.wabLC = p.tick()
 	p.env.Broadcast(Wab{LC: p.wabLC, Round: r, Est: p.st.Est})
 	p.maybeAdoptFirst()
@@ -251,6 +252,7 @@ func (p *Process) enterRound(r int64) {
 // votes already cast instead of casting fresh ones.
 func (p *Process) resumeRound() {
 	p.env.Emit("round", p.st.Round)
+	consensus.BeginSpan(p.env, "round", p.st.Round)
 	p.wabLC = p.tick()
 	p.env.Broadcast(Wab{LC: p.wabLC, Round: p.st.Round, Est: p.st.Est})
 	switch {
@@ -477,6 +479,7 @@ func (p *Process) decide(v consensus.Value) {
 	p.st.Dec = v
 	p.persist()
 	p.env.Decide(v)
+	consensus.EndSpan(p.env, "round", p.st.Round)
 	p.env.CancelTimer(oracleTimer)
 	p.env.CancelTimer(heartbeatTimer)
 	p.env.Broadcast(Decided{Val: v})

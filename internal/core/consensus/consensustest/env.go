@@ -42,24 +42,38 @@ type Env struct {
 	Storage *storage.MemStore
 	// Emitted collects Emit observations per kind.
 	Emitted map[string][]int64
+	// Spans collects Span calls in order (tests assert phase progression).
+	Spans []SpanCall
+	// Durations collects ObserveDuration observations per histogram name.
+	Durations map[string][]time.Duration
 	// Logs collects Logf lines.
 	Logs []string
 
 	rng *rand.Rand
 }
 
+// SpanCall records one consensus.SpanSink invocation.
+type SpanCall struct {
+	Kind  string
+	Begin bool
+	Value int64
+}
+
 var _ consensus.Environment = (*Env)(nil)
+var _ consensus.SpanSink = (*Env)(nil)
+var _ consensus.DurationObserver = (*Env)(nil)
 
 // New returns an environment for process id of n.
 func New(id consensus.ProcessID, n int) *Env {
 	return &Env{
-		PID:     id,
-		NN:      n,
-		Timers:  make(map[consensus.TimerID]time.Duration),
-		Armings: make(map[consensus.TimerID]int),
-		Storage: storage.NewMemStore(),
-		Emitted: make(map[string][]int64),
-		rng:     rand.New(rand.NewSource(1)),
+		PID:       id,
+		NN:        n,
+		Timers:    make(map[consensus.TimerID]time.Duration),
+		Armings:   make(map[consensus.TimerID]int),
+		Storage:   storage.NewMemStore(),
+		Emitted:   make(map[string][]int64),
+		Durations: make(map[string][]time.Duration),
+		rng:       rand.New(rand.NewSource(1)),
 	}
 }
 
@@ -108,6 +122,16 @@ func (e *Env) Decide(v consensus.Value) { e.Decisions = append(e.Decisions, v) }
 // Emit implements consensus.Environment.
 func (e *Env) Emit(kind string, value int64) {
 	e.Emitted[kind] = append(e.Emitted[kind], value)
+}
+
+// Span implements consensus.SpanSink.
+func (e *Env) Span(kind string, begin bool, value int64) {
+	e.Spans = append(e.Spans, SpanCall{Kind: kind, Begin: begin, Value: value})
+}
+
+// ObserveDuration implements consensus.DurationObserver.
+func (e *Env) ObserveDuration(name string, d time.Duration) {
+	e.Durations[name] = append(e.Durations[name], d)
 }
 
 // Logf implements consensus.Environment.

@@ -1,0 +1,46 @@
+package consensus
+
+import "time"
+
+// SpanSink is optionally implemented by Environments whose collector can
+// record typed begin/end phase spans (session, ballot, round). It is a
+// separate optional interface — not an Environment method — so protocol
+// instrumentation composes with every existing Environment implementation
+// (harness substrates, the RSM's slot environments, scripted test
+// environments) without widening the core contract.
+type SpanSink interface {
+	// Span records a phase boundary at the environment's current time.
+	Span(kind string, begin bool, value int64)
+}
+
+// DurationObserver is optionally implemented by Environments whose
+// collector can record latency histogram observations.
+type DurationObserver interface {
+	// ObserveDuration records one duration into the named histogram.
+	ObserveDuration(name string, d time.Duration)
+}
+
+// BeginSpan opens (or re-opens — a begin for an already-open kind closes
+// the previous span) a phase span on environments that support spans; a
+// no-op elsewhere. The type assertion is the only cost on unsupporting or
+// disabled environments, keeping protocol hot paths allocation-free.
+func BeginSpan(env Environment, kind string, value int64) {
+	if s, ok := env.(SpanSink); ok {
+		s.Span(kind, true, value)
+	}
+}
+
+// EndSpan closes a phase span on environments that support spans.
+func EndSpan(env Environment, kind string, value int64) {
+	if s, ok := env.(SpanSink); ok {
+		s.Span(kind, false, value)
+	}
+}
+
+// ObserveDuration records a latency observation on environments that
+// support histograms; a no-op elsewhere.
+func ObserveDuration(env Environment, name string, d time.Duration) {
+	if o, ok := env.(DurationObserver); ok {
+		o.ObserveDuration(name, d)
+	}
+}

@@ -210,6 +210,7 @@ func (p *Process) Init(env consensus.Environment) {
 	}
 
 	p.env.Emit("session", p.session())
+	consensus.BeginSpan(p.env, "session", p.session())
 
 	switch {
 	case p.cfg.Prepared && p.id == 0 && !p.st.Sent2a && p.proposal != "" &&
@@ -316,6 +317,9 @@ func (p *Process) enterSession() {
 	p.timerExpired = false
 	p.env.SetTimer(sessionTimer, p.cfg.sessionTimerLocal())
 	p.env.Emit("session", p.session())
+	// A begin for an already-open span kind closes the previous session, so
+	// session progression renders as adjacent phase spans.
+	consensus.BeginSpan(p.env, "session", p.session())
 	p.announce1a()
 }
 
@@ -433,6 +437,7 @@ func (p *Process) decide(v consensus.Value) {
 	p.st.Dec = v
 	p.persist()
 	p.env.Decide(v)
+	consensus.EndSpan(p.env, "session", p.session())
 	p.env.CancelTimer(sessionTimer)
 	p.env.CancelTimer(heartbeatTimer)
 	p.env.Broadcast(Decided{Val: v})

@@ -196,6 +196,7 @@ func (p *Process) startPhase1(atLeast consensus.Ballot) {
 	p.p2bs = make(map[consensus.ProcessID]P2b)
 	p.started = true
 	p.env.Emit("ballot", int64(b))
+	consensus.BeginSpan(p.env, "ballot", int64(b))
 	p.env.Broadcast(P1a{Bal: b})
 }
 
@@ -302,6 +303,7 @@ func (p *Process) decide(v consensus.Value) {
 	p.st.Dec = v
 	p.persist()
 	p.env.Decide(v)
+	consensus.EndSpan(p.env, "ballot", int64(p.st.MBal))
 	p.env.Broadcast(Decided{Val: v})
 	p.env.SetTimer(tickTimer, p.cfg.GossipInterval)
 }

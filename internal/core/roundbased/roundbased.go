@@ -184,6 +184,7 @@ func (p *Process) enterRound(r int64) {
 	p.sentCoord = false
 	p.acks = make(map[consensus.ProcessID]bool)
 	p.env.Emit("round", r)
+	consensus.BeginSpan(p.env, "round", r)
 
 	p.env.Broadcast(InRound{Round: r})
 	p.env.Send(p.coordinator(r), Estimate{Round: r, Est: p.st.Est, TSRound: p.st.TSRound})
@@ -273,10 +274,15 @@ func (p *Process) onEstimate(from consensus.ProcessID, m Estimate) {
 	if len(p.estimates) < p.majority() {
 		return
 	}
+	// Pick the estimate with the highest tsRound. Ties are legitimate (all
+	// initial estimates carry tsRound -1 with distinct values) and must
+	// break deterministically — lowest sender wins — or the decided value
+	// would follow map iteration order and differ run to run.
 	best := Estimate{TSRound: -2}
-	for _, e := range p.estimates {
-		if e.TSRound > best.TSRound {
-			best = e
+	bestFrom := consensus.ProcessID(-1)
+	for from, e := range p.estimates {
+		if e.TSRound > best.TSRound || (e.TSRound == best.TSRound && from < bestFrom) {
+			best, bestFrom = e, from
 		}
 	}
 	p.sentCoord = true
@@ -338,6 +344,7 @@ func (p *Process) decide(v consensus.Value) {
 	p.st.Dec = v
 	p.persist()
 	p.env.Decide(v)
+	consensus.EndSpan(p.env, "round", p.st.Round)
 	p.env.CancelTimer(roundTimer)
 	p.env.Broadcast(Decided{Val: v})
 	p.env.SetTimer(gossipTimer, p.cfg.GossipInterval)

@@ -118,6 +118,17 @@ type Config struct {
 	// process starts. The scenario engine uses them to install fault
 	// schedules (assassins, churn) that need direct network access.
 	PreStart []func(*simnet.Network)
+	// Observe enables run-level observability: phase spans (run/pre-TS/
+	// post-TS, protocol sessions and rounds, leader epochs, crash windows)
+	// and latency/queue-depth histograms in the collector, exportable via
+	// trace.Snapshot. Disabled (the default), the instrumentation costs a
+	// branch per hook and allocates nothing; enabled, it consumes no
+	// randomness and schedules no events, so the delivery schedule is
+	// byte-identical either way.
+	Observe bool
+	// SpanCapacity sizes the span ring buffer when Observe is set (0 uses
+	// the trace package default).
+	SpanCapacity int
 	// Debug retains per-event logs in the collector.
 	Debug bool
 }
@@ -205,6 +216,10 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Debug {
 		collector.EnableLogging(10000)
 	}
+	if cfg.Observe {
+		collector.EnableSpans(cfg.SpanCapacity)
+		collector.EnableHistograms()
+	}
 	// Pre-intern the protocol's wire types (and the oracle's announcement)
 	// into the collector's dense counter table: the run's hot path then
 	// never grows the table, and unknown types still intern lazily.
@@ -272,6 +287,11 @@ func Run(cfg Config) (Result, error) {
 		}, cfg.Horizon)
 		decided = decided && ok
 	}
+
+	// Run-level phase spans are recorded after the fact with explicit
+	// timestamps — no events scheduled, no randomness drawn — so observed
+	// and unobserved runs replay identical schedules.
+	collector.RecordRunPhases(cfg.TS, eng.Now())
 
 	res := BuildResult(cfg, collector, nw.Checker(), nw.UpIDs(), decided)
 	// Recovery is read from the nodes, not cfg.Restarts, so restarts

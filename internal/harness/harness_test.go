@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core/consensus"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 const delta = 10 * time.Millisecond
@@ -210,5 +211,47 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("nondeterministic harness runs: %+v vs %+v",
 			fmt.Sprintf("%v/%d/%s", a.LastDecision, a.Messages, a.Value),
 			fmt.Sprintf("%v/%d/%s", b.LastDecision, b.Messages, b.Value))
+	}
+}
+
+// TestObserveDoesNotPerturbSchedule pins the observability invariant:
+// enabling spans and histograms consumes no randomness and schedules no
+// events, so the simulated schedule is identical with them on or off —
+// every protocol, same decision times, same message counts, same per-type
+// traffic.
+func TestObserveDoesNotPerturbSchedule(t *testing.T) {
+	for _, p := range Protocols() {
+		run := func(observe bool) Result {
+			res, err := Run(Config{
+				Protocol: p, N: 5, Delta: delta, TS: 150 * time.Millisecond,
+				Seed: 42, Rho: 0.01, Observe: observe,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		plain, observed := run(false), run(true)
+		if plain.LastDecision != observed.LastDecision ||
+			plain.Messages != observed.Messages ||
+			plain.Value != observed.Value {
+			t.Errorf("%s: observation perturbed the schedule: %v/%d/%s vs %v/%d/%s",
+				p, plain.LastDecision, plain.Messages, plain.Value,
+				observed.LastDecision, observed.Messages, observed.Value)
+		}
+		for typ, n := range plain.MessagesByType {
+			if observed.MessagesByType[typ] != n {
+				t.Errorf("%s: per-type count %q changed: %d vs %d",
+					p, typ, n, observed.MessagesByType[typ])
+			}
+		}
+		// And the observed run actually observed: every process decided, so
+		// the decide-latency histogram carries N samples.
+		if h, ok := observed.Collector.HistogramCopy(trace.HistDecideLatency); !ok || h.Count() != 5 {
+			t.Errorf("%s: decide-latency count = %v (ok=%v), want 5", p, h.Count(), ok)
+		}
+		if len(observed.Collector.SpanEvents()) == 0 {
+			t.Errorf("%s: observed run recorded no span events", p)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core/consensus"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Announce tells a process who the oracle currently believes is leader.
@@ -61,6 +62,10 @@ func Install(nw *simnet.Network, cfg Config) {
 
 	var announce func()
 	round := 0
+	// Leader-epoch spans: a new epoch begins whenever the announced leader
+	// changes (a begin for an open span kind closes the previous epoch, so
+	// chaotic pre-TS rotation renders as adjacent epochs).
+	var lastLead consensus.ProcessID = -1
 	announce = func() {
 		now := nw.Engine().Now()
 		if now > cfg.Horizon {
@@ -71,6 +76,10 @@ func Install(nw *simnet.Network, cfg Config) {
 			// Rotate through bogus leaders during instability.
 			lead = consensus.ProcessID(round % n)
 			round++
+		}
+		if lead != lastLead {
+			nw.Collector().Span(now, -1, trace.SpanLeaderEpoch, true, int64(lead))
+			lastLead = lead
 		}
 		for i := 0; i < n; i++ {
 			id := consensus.ProcessID(i)

@@ -39,6 +39,12 @@ type Config struct {
 	// Delta is δ, handed to protocol configurations; with the memory
 	// transport it also bounds post-stabilization delivery delay.
 	Delta time.Duration
+	// TS is the stabilization instant as a wall-clock offset from cluster
+	// start. It is an observability anchor only (decision-latency
+	// histograms measure against it, matching the simulator's headline
+	// metric); the transport's own StabilizeAfter governs actual fault
+	// injection.
+	TS time.Duration
 	// Transport defaults to a loss-free memory transport.
 	Transport Transport
 	// Collector defaults to a fresh collector.
@@ -64,8 +70,9 @@ type Cluster struct {
 	checker   *consensus.SafetyChecker
 	nodes     []*Node
 
-	mu      sync.Mutex
-	started bool
+	mu        sync.Mutex
+	started   bool
+	startedAt time.Time
 }
 
 // NewCluster builds a cluster; processes are created but not started.
@@ -111,9 +118,21 @@ func (c *Cluster) Start() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.started = true
+	c.startedAt = time.Now()
 	for _, n := range c.nodes {
 		n.start()
 	}
+}
+
+// sinceStart returns the wall-clock offset from cluster start — the live
+// runtime's run timeline (0 before Start).
+func (c *Cluster) sinceStart() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		return 0
+	}
+	return time.Since(c.startedAt)
 }
 
 // Stop gracefully shuts down all processes and the transport, waiting for
@@ -136,10 +155,16 @@ func (c *Cluster) Node(id consensus.ProcessID) *Node { return c.nodes[id] }
 
 // Crash stops one process abruptly (volatile state and timers lost; stable
 // storage kept).
-func (c *Cluster) Crash(id consensus.ProcessID) { c.nodes[id].stop() }
+func (c *Cluster) Crash(id consensus.ProcessID) {
+	c.collector.Span(c.sinceStart(), int(id), trace.SpanDown, true, 1)
+	c.nodes[id].stop()
+}
 
 // Restart boots a crashed process again from its stable storage.
-func (c *Cluster) Restart(id consensus.ProcessID) { c.nodes[id].start() }
+func (c *Cluster) Restart(id consensus.ProcessID) {
+	c.collector.Span(c.sinceStart(), int(id), trace.SpanDown, false, 1)
+	c.nodes[id].start()
+}
 
 // AllIDs returns every process ID.
 func (c *Cluster) AllIDs() []consensus.ProcessID {

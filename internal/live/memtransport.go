@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core/consensus"
+	"repro/internal/trace"
 )
 
 // MemTransportConfig tunes the in-memory transport's fault model, mapping
@@ -30,6 +31,10 @@ type MemTransportConfig struct {
 	// live report unrepeatable; callers wanting varied runs must now seed
 	// explicitly.)
 	Seed int64
+	// Collector, when set and with histograms enabled, records per-type
+	// delivery latency (the delay the transport itself imposes — the live
+	// counterpart of the simulator's delivery histograms).
+	Collector *trace.Collector
 }
 
 // defaultTransportSeed replaces a zero MemTransportConfig.Seed.
@@ -102,6 +107,11 @@ func (t *MemTransport) Send(from, to consensus.ProcessID, m consensus.Message) {
 	}
 	t.mu.Unlock()
 
+	if c := t.cfg.Collector; c != nil && c.HistogramsEnabled() {
+		// The delay is already drawn, so observation cannot perturb the
+		// transport's randomness stream.
+		c.ObserveLatency(trace.HistDeliveryPrefix+m.Type(), delay)
+	}
 	if h == nil {
 		return
 	}

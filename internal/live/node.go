@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core/consensus"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // event is one item on a node's serial event loop.
@@ -22,6 +23,9 @@ type event struct {
 	// epoch stamps timer events so timers armed before a crash cannot
 	// fire into a restarted incarnation.
 	epoch uint64
+	// enqueuedAt stamps messages on enqueue so the loop can observe inbox
+	// wait time (zero when histograms are off).
+	enqueuedAt time.Time
 }
 
 const (
@@ -58,6 +62,11 @@ type Node struct {
 
 	decided   bool
 	decidedAt time.Duration
+
+	// lastSendAt tracks the previous Send's wall-clock instant for the
+	// send-interval histogram. Touched only from the loop goroutine (Send
+	// is Environment API, called from handlers), so it needs no lock.
+	lastSendAt time.Time
 }
 
 func newLiveNode(c *Cluster, id consensus.ProcessID) (*Node, error) {
@@ -133,6 +142,9 @@ func (n *Node) run(done chan struct{}) {
 		case ev := <-n.inbox:
 			switch ev.kind {
 			case eventMessage:
+				if !ev.enqueuedAt.IsZero() {
+					n.cluster.collector.ObserveLatency(trace.HistInboxWait, time.Since(ev.enqueuedAt))
+				}
 				n.withProc(func(p consensus.Process) { p.HandleMessage(ev.from, ev.msg) })
 			case eventTimer:
 				n.mu.Lock()
@@ -168,9 +180,17 @@ func (n *Node) enqueueMessage(from consensus.ProcessID, m consensus.Message) {
 		n.cluster.collector.MessageDropped(m.Type())
 		return
 	}
+	ev := event{kind: eventMessage, from: from, msg: m}
+	observing := n.cluster.collector.HistogramsEnabled()
+	if observing {
+		ev.enqueuedAt = time.Now()
+	}
 	select {
-	case n.inbox <- event{kind: eventMessage, from: from, msg: m}:
+	case n.inbox <- ev:
 		n.cluster.collector.MessageDelivered(m.Type())
+		if observing {
+			n.cluster.collector.ObserveValue(trace.HistInboxDepth, int64(len(n.inbox)))
+		}
 	case <-done:
 		n.cluster.collector.MessageDropped(m.Type())
 	default:
@@ -196,6 +216,13 @@ func (n *Node) Now() time.Duration { return time.Since(n.bootedAt) }
 // Send implements consensus.Environment.
 func (n *Node) Send(to consensus.ProcessID, m consensus.Message) {
 	n.cluster.collector.MessageSent(m.Type())
+	if n.cluster.collector.HistogramsEnabled() {
+		now := time.Now()
+		if !n.lastSendAt.IsZero() {
+			n.cluster.collector.ObserveLatency(trace.HistSendInterval, now.Sub(n.lastSendAt))
+		}
+		n.lastSendAt = now
+	}
 	n.cluster.transport.Send(n.id, to, m)
 }
 
@@ -247,17 +274,43 @@ func (n *Node) Decide(v consensus.Value) {
 	now := n.Now()
 	_ = n.cluster.checker.RecordDecision(consensus.Decision{Proc: n.id, Value: v, At: now})
 	n.mu.Lock()
-	if !n.decided {
+	first := !n.decided
+	if first {
 		n.decided = true
 		n.decidedAt = now
 	}
 	n.mu.Unlock()
+	if first && n.cluster.collector.HistogramsEnabled() {
+		// Same headline metric as the simulator: wall-clock decision
+		// instant minus the stabilization offset, clamped at zero.
+		lat := n.cluster.sinceStart() - n.cluster.cfg.TS
+		if lat < 0 {
+			lat = 0
+		}
+		n.cluster.collector.ObserveLatency(trace.HistDecideLatency, lat)
+	}
 }
 
 // Emit implements consensus.Environment.
 func (n *Node) Emit(kind string, value int64) {
 	n.cluster.collector.Emit(n.Now(), int(n.id), kind, value)
 }
+
+// Span implements consensus.SpanSink: spans are stamped with the shared
+// cluster timeline (offset from Start), not the node-local boot clock, so
+// spans from different processes line up.
+func (n *Node) Span(kind string, begin bool, value int64) {
+	n.cluster.collector.Span(n.cluster.sinceStart(), int(n.id), kind, begin, value)
+}
+
+// ObserveDuration implements consensus.DurationObserver.
+func (n *Node) ObserveDuration(name string, d time.Duration) {
+	n.cluster.collector.ObserveLatency(name, d)
+}
+
+// SpansEnabled lets layered environments (the RSM slot env) skip span
+// bookkeeping when recording is off.
+func (n *Node) SpansEnabled() bool { return n.cluster.collector.SpansEnabled() }
 
 // Logf implements consensus.Environment.
 func (n *Node) Logf(format string, args ...any) {

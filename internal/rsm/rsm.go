@@ -21,9 +21,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core/consensus"
 	"repro/internal/core/modpaxos"
+	"repro/internal/trace"
 )
 
 // NoOp is the command decided for a slot no client command reached; it is
@@ -125,6 +127,10 @@ type Replica struct {
 	applied   int64 // number of contiguous slots applied
 	decisions map[int64]consensus.Value
 	waiters   map[int64][]consensus.ProcessID // proposer: who to ack per slot
+	// proposedAt records (on the proposer) when each slot's command was
+	// submitted, for the slot-decision-latency histogram; entries are
+	// deleted on decision so memory tracks in-flight slots only.
+	proposedAt map[int64]time.Duration
 	// pending maps a slot to the command the proposer submitted for it.
 	// If the slot decides something else (a recovery ballot can win with
 	// the NoOp proposal when the command's phase-2 traffic was lost
@@ -160,11 +166,12 @@ func New(cfg Config) (consensus.Factory, error) {
 	return func(id consensus.ProcessID, n int, _ consensus.Value) consensus.Process {
 		return &Replica{
 			id: id, n: n, cfg: cfg, factory: inner,
-			slots:     make(map[int64]*slotState),
-			decisions: make(map[int64]consensus.Value),
-			waiters:   make(map[int64][]consensus.ProcessID),
-			pending:   make(map[int64]consensus.Value),
-			kv:        NewKVStore(),
+			slots:      make(map[int64]*slotState),
+			decisions:  make(map[int64]consensus.Value),
+			waiters:    make(map[int64][]consensus.ProcessID),
+			pending:    make(map[int64]consensus.Value),
+			proposedAt: make(map[int64]time.Duration),
+			kv:         NewKVStore(),
 		}
 	}, nil
 }
@@ -225,6 +232,7 @@ func (r *Replica) onPropose(from consensus.ProcessID, msg ClientPropose) {
 	}
 	slot := r.assignSlot()
 	r.pending[slot] = msg.Cmd
+	r.proposedAt[slot] = r.env.Now()
 	r.waiters[slot] = append(r.waiters[slot], from)
 	r.instance(slot, msg.Cmd) // starts the prepared leader instance
 }
@@ -279,6 +287,12 @@ func (r *Replica) onSlotDecided(slot int64, v consensus.Value) {
 		r.env.Logf("rsm: persist decided: %v", err)
 	}
 	r.env.Emit("rsm-slot-decided", slot)
+	if at, ok := r.proposedAt[slot]; ok {
+		if d := r.env.Now() - at; d >= 0 {
+			consensus.ObserveDuration(r.env, trace.HistSlotLatency, d)
+		}
+		delete(r.proposedAt, slot)
+	}
 	r.applyReady()
 
 	if cmd, ok := r.pending[slot]; ok && cmd != v {

@@ -71,6 +71,32 @@ func (e *slotEnv) Emit(kind string, value int64) {
 	e.replica.env.Emit(fmt.Sprintf("slot%d-%s", e.slot, kind), value)
 }
 
+// spanEnabler lets the slot env skip the kind-prefix allocation when spans
+// are off (both runtime Nodes implement it).
+type spanEnabler interface{ SpansEnabled() bool }
+
+// Span implements consensus.SpanSink when the outer environment does,
+// namespacing the kind like Emit so concurrent slots get distinct lanes.
+func (e *slotEnv) Span(kind string, begin bool, value int64) {
+	sink, ok := e.replica.env.(consensus.SpanSink)
+	if !ok {
+		return
+	}
+	if en, ok := e.replica.env.(spanEnabler); ok && !en.SpansEnabled() {
+		return
+	}
+	sink.Span(fmt.Sprintf("slot%d-%s", e.slot, kind), begin, value)
+}
+
+// ObserveDuration implements consensus.DurationObserver when the outer
+// environment does. Histogram names are not slot-prefixed: slot latencies
+// aggregate into one distribution.
+func (e *slotEnv) ObserveDuration(name string, d time.Duration) {
+	if obs, ok := e.replica.env.(consensus.DurationObserver); ok {
+		obs.ObserveDuration(name, d)
+	}
+}
+
 // Logf implements consensus.Environment.
 func (e *slotEnv) Logf(format string, args ...any) {
 	e.replica.env.Logf("slot %d: "+format, append([]any{e.slot}, args...)...)

@@ -113,6 +113,12 @@ func (b liveBackend) Run(cfg harness.Config) (harness.Result, error) {
 	}
 
 	collector := trace.NewCollector()
+	if cfg.Observe {
+		// Same switches the harness flips for the simulator; both must be
+		// on before the cluster starts feeding the collector.
+		collector.EnableSpans(cfg.SpanCapacity)
+		collector.EnableHistograms()
+	}
 	var inner live.Transport
 	if b.tcp {
 		ids := make([]consensus.ProcessID, cfg.N)
@@ -129,8 +135,9 @@ func (b liveBackend) Run(cfg harness.Config) (harness.Result, error) {
 		// The PolicyTransport wrapper owns the unstable period, seeded
 		// from the cell so mem-backend fault patterns are reproducible.
 		inner = live.NewMemTransport(live.MemTransportConfig{
-			MaxDelay: cfg.Delta,
-			Seed:     cfg.Seed,
+			MaxDelay:  cfg.Delta,
+			Seed:      cfg.Seed,
+			Collector: collector,
 		})
 	}
 	transport := live.NewPolicyTransport(inner, live.PolicyTransportConfig{
@@ -142,7 +149,7 @@ func (b liveBackend) Run(cfg harness.Config) (harness.Result, error) {
 	})
 
 	cluster, err := live.NewCluster(live.Config{
-		N: cfg.N, Delta: cfg.Delta,
+		N: cfg.N, Delta: cfg.Delta, TS: cfg.TS,
 		Transport: transport, Collector: collector, Seed: cfg.Seed,
 	}, factory, harness.DefaultProposals(cfg.N))
 	if err != nil {
@@ -191,6 +198,7 @@ func (b liveBackend) Run(cfg harness.Config) (harness.Result, error) {
 			t.Stop()
 		}
 	}()
+	started := time.Now()
 	cluster.Start()
 	for _, r := range cfg.Restarts {
 		r := r
@@ -206,5 +214,8 @@ func (b liveBackend) Run(cfg harness.Config) (harness.Result, error) {
 	faultMu.Lock()
 	done = true
 	faultMu.Unlock()
+	// Run-level phase spans mirror the harness's post-run recording, with
+	// wall time standing in for virtual time.
+	collector.RecordRunPhases(cfg.TS, time.Since(started))
 	return harness.BuildResult(cfg, collector, cluster.Checker(), expected, decided), nil
 }

@@ -480,9 +480,13 @@ func (r *GridReport) Text() string {
 // GridCSVHeader is the stable CSV column order of grid reports. Every row
 // carries the cell's full resolved parameters, so the schema is identical
 // whatever axes were swept.
+// The decision-latency quantile columns trail the schema (appended, never
+// inserted) so prefix-matching consumers survive; they are 0 unless the base
+// spec set Observe.
 const GridCSVHeader = "scenario,n,delta_ns,ts_ns,rho,sigma_ns,eps_ns,attack_k," +
 	"protocol,seeds,decided,latency_median_ns,latency_median_deltas,latency_max_ns," +
-	"bound_ns,messages_median,violations"
+	"bound_ns,messages_median,violations," +
+	"decision_p50_ns,decision_p95_ns,decision_p99_ns"
 
 // CSVRows renders one row per (cell, protocol) pair, in deterministic
 // order, without the header (so multiple grids can share one stream).
@@ -497,12 +501,17 @@ func (r *GridReport) CSVRows() []string {
 					nViol++
 				}
 			}
-			rows = append(rows, fmt.Sprintf("%s,%d,%d,%d,%s,%d,%d,%d,%s,%d,%d,%d,%.3f,%d,%d,%d,%d",
+			var p50, p95, p99 int64
+			if h := pr.DecisionLatency; h != nil {
+				p50, p95, p99 = h.P50, h.P95, h.P99
+			}
+			rows = append(rows, fmt.Sprintf("%s,%d,%d,%d,%s,%d,%d,%d,%s,%d,%d,%d,%.3f,%d,%d,%d,%d,%d,%d,%d",
 				r.Name, p.N, int64(p.Delta), int64(p.TS),
 				strconv.FormatFloat(p.Rho, 'g', -1, 64), int64(p.Sigma), int64(p.Eps), p.AttackK,
 				pr.Protocol, pr.Seeds, pr.Decided,
 				int64(pr.Latency.Median), float64(pr.Latency.Median)/float64(c.Report.Delta),
-				int64(pr.Latency.Max), int64(pr.Bound), int64(pr.Messages.Median), nViol))
+				int64(pr.Latency.Max), int64(pr.Bound), int64(pr.Messages.Median), nViol,
+				p50, p95, p99))
 		}
 	}
 	return rows

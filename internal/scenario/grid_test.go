@@ -167,7 +167,8 @@ func TestGridCSVGolden(t *testing.T) {
 	// must carry the full resolved parameter set in the same column order.
 	const wantHeader = "scenario,n,delta_ns,ts_ns,rho,sigma_ns,eps_ns,attack_k," +
 		"protocol,seeds,decided,latency_median_ns,latency_median_deltas,latency_max_ns," +
-		"bound_ns,messages_median,violations"
+		"bound_ns,messages_median,violations," +
+		"decision_p50_ns,decision_p95_ns,decision_p99_ns"
 	if GridCSVHeader != wantHeader {
 		t.Fatalf("CSV header changed:\n got %s\nwant %s", GridCSVHeader, wantHeader)
 	}
@@ -189,8 +190,8 @@ func TestGridCSVGolden(t *testing.T) {
 	// Golden structural fields of the first row: scenario, n, delta, ts,
 	// rho, sigma, eps, attack_k, protocol, seeds, decided.
 	fields := strings.Split(lines[1], ",")
-	if len(fields) != 17 {
-		t.Fatalf("row has %d fields, want 17: %q", len(fields), lines[1])
+	if len(fields) != 20 {
+		t.Fatalf("row has %d fields, want 20: %q", len(fields), lines[1])
 	}
 	wantPrefix := []string{"grid-test", "3", "10000000", "0", "0", "0", "0", "0", "modpaxos", "1", "1"}
 	for i, w := range wantPrefix {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +38,10 @@ type ProtocolReport struct {
 	// per-type counts over all seeds.
 	Messages       trace.Summary  `json:"messages"`
 	MessagesByType map[string]int `json:"messages_by_type"`
+	// DecisionLatency is the per-process decision-latency histogram merged
+	// across all seeds, present only when the spec set Observe (a pointer so
+	// unobserved reports keep their exact JSON shape).
+	DecisionLatency *trace.HistogramSnapshot `json:"decision_latency,omitempty"`
 }
 
 // Report is the structured outcome of one scenario execution.
@@ -162,6 +167,7 @@ func aggregate(spec Spec, cells [][]cell) (*Report, error) {
 	for pi, p := range spec.Protocols {
 		pr := ProtocolReport{Protocol: p, Seeds: spec.Seeds}
 		var lats, msgs []time.Duration
+		decHist := trace.NewHistogram(trace.UnitNanos)
 		for si := 0; si < spec.Seeds; si++ {
 			c := cells[pi][si]
 			if c.err != nil {
@@ -170,6 +176,13 @@ func aggregate(spec Spec, cells [][]cell) (*Report, error) {
 			run := c.run
 			if spec.KeepRuns {
 				rep.runs = append(rep.runs, run)
+			}
+			if spec.Observe && run.Res.Collector != nil {
+				if h, ok := run.Res.Collector.HistogramCopy(trace.HistDecideLatency); ok {
+					if err := decHist.Merge(&h); err != nil {
+						return nil, fmt.Errorf("scenario %s: %s seed %d: %w", spec.Name, p, run.Seed, err)
+					}
+				}
 			}
 			if run.Res.Decided {
 				pr.Decided++
@@ -191,6 +204,10 @@ func aggregate(spec Spec, cells [][]cell) (*Report, error) {
 		pr.Latency = trace.Summarize(lats)
 		pr.LatencyDeltas = pr.Latency.StringInDelta(spec.Delta)
 		pr.Messages = trace.Summarize(msgs)
+		if decHist.Count() > 0 {
+			snap := decHist.Snapshot(trace.HistDecideLatency)
+			pr.DecisionLatency = &snap
+		}
 		if d, err := protocol.Get(string(p)); err == nil && d.DecisionBound != nil {
 			if bound, err := d.DecisionBound(protocol.Params{
 				Delta: spec.Delta, Sigma: spec.Sigma, Eps: spec.Eps, Rho: spec.Clocks.Rho,
@@ -225,6 +242,22 @@ func (r *Report) Text() string {
 		)
 	}
 	b.WriteString("\n")
+	if hasDecisionLatency(r.Protocols) {
+		b.WriteString("decision latency after TS (per process, merged over seeds):\n")
+		fmt.Fprintf(&b, "  %-12s %-8s %-12s %-12s %-12s %-12s\n",
+			"protocol", "count", "p50", "p95", "p99", "max")
+		for _, pr := range r.Protocols {
+			h := pr.DecisionLatency
+			if h == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-12s %-8d %-12v %-12v %-12v %-12v\n",
+				pr.Protocol, h.Count,
+				time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99),
+				time.Duration(h.Max))
+		}
+		b.WriteString("\n")
+	}
 	if len(r.Violations) == 0 {
 		b.WriteString("violations: none\n")
 	} else {
@@ -234,6 +267,54 @@ func (r *Report) Text() string {
 		}
 	}
 	return b.String()
+}
+
+// hasDecisionLatency reports whether any protocol carries the observed
+// decision-latency histogram.
+func hasDecisionLatency(prs []ProtocolReport) bool {
+	for _, pr := range prs {
+		if pr.DecisionLatency != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// HistogramSummaries merges every histogram recorded by the kept runs
+// (Spec.KeepRuns + Observe), grouped by name across all (protocol, seed)
+// cells, and returns the merged snapshots sorted by name. Histograms whose
+// units conflict across runs are skipped (cannot happen with the built-in
+// instrumentation, which fixes one unit per name).
+func (r *Report) HistogramSummaries() []trace.HistogramSnapshot {
+	merged := make(map[string]*trace.Histogram)
+	for _, run := range r.runs {
+		if run.Res.Collector == nil {
+			continue
+		}
+		for _, name := range run.Res.Collector.HistogramNames() {
+			h, ok := run.Res.Collector.HistogramCopy(name)
+			if !ok {
+				continue
+			}
+			if m, ok := merged[name]; ok {
+				if err := m.Merge(&h); err != nil {
+					delete(merged, name)
+				}
+			} else {
+				merged[name] = &h
+			}
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]trace.HistogramSnapshot, 0, len(names))
+	for _, name := range names {
+		out = append(out, merged[name].Snapshot(name))
+	}
+	return out
 }
 
 // JSON renders the report as indented JSON.

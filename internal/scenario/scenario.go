@@ -297,6 +297,12 @@ type Spec struct {
 	// callers that need per-run data the aggregates do not carry (restart
 	// recoveries, per-type message counts, trace series).
 	KeepRuns bool
+	// Observe enables run-level observability — phase spans and latency
+	// histograms — on every run's collector, on any backend. Observation
+	// consumes no randomness and schedules nothing, so simulator schedules
+	// are byte-identical with it on or off; the report additionally gains
+	// decision-latency quantiles per protocol.
+	Observe bool
 }
 
 // withDefaults returns the spec with every zero field resolved.
@@ -351,6 +357,7 @@ func (s Spec) config(p harness.Protocol, seed int64) (harness.Config, error) {
 		Prepared:        s.Prepared,
 		Seed:            seed,
 		Horizon:         s.Horizon,
+		Observe:         s.Observe,
 	}
 	if s.Net != nil {
 		cfg.Policy = s.Net(s.N, s.Delta, s.TS)

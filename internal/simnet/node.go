@@ -9,6 +9,7 @@ import (
 	"repro/internal/core/consensus"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Node hosts one process inside a simulated network and implements
@@ -68,6 +69,8 @@ func (n *Node) start() {
 	if n.crashCount > 0 {
 		n.restartedAt = n.startedAt
 		n.restarted = true
+		// Close the crash window opened by crash() (no-op unless spans on).
+		n.nw.collector.Span(n.startedAt, int(n.id), trace.SpanDown, false, int64(n.crashCount))
 	}
 	n.proc = n.factory(n.id, n.nw.cfg.N, n.proposal)
 	n.proc.Init(n)
@@ -82,6 +85,7 @@ func (n *Node) crash() {
 	n.up = false
 	n.proc = nil
 	n.crashCount++
+	n.nw.collector.Span(n.nw.eng.Now(), int(n.id), trace.SpanDown, true, int64(n.crashCount))
 	for i := range n.timers {
 		n.timers[i].Cancel()
 		n.timers[i] = sim.Event{}
@@ -217,12 +221,37 @@ func (n *Node) Decide(v consensus.Value) {
 		n.decision = v
 		n.decidedAt = now
 		n.nw.collector.Emit(now, int(n.id), "decide", 1)
+		if n.nw.collector.HistogramsEnabled() {
+			// The paper's headline metric, per process: global decision
+			// time minus TS, clamped like Result.LatencyAfterTS.
+			lat := now - n.nw.cfg.TS
+			if lat < 0 {
+				lat = 0
+			}
+			n.nw.collector.ObserveLatency(trace.HistDecideLatency, lat)
+		}
 	}
 }
 
 // Emit implements consensus.Environment.
 func (n *Node) Emit(kind string, value int64) {
 	n.nw.collector.Emit(n.nw.eng.Now(), int(n.id), kind, value)
+}
+
+// Span implements consensus.SpanSink: protocol phase spans are stamped with
+// global virtual time (spans from different processes must share one
+// timeline; local clocks drift).
+func (n *Node) Span(kind string, begin bool, value int64) {
+	n.nw.collector.Span(n.nw.eng.Now(), int(n.id), kind, begin, value)
+}
+
+// SpansEnabled lets layered environments (the RSM slot env) skip span
+// bookkeeping when recording is off.
+func (n *Node) SpansEnabled() bool { return n.nw.collector.SpansEnabled() }
+
+// ObserveDuration implements consensus.DurationObserver.
+func (n *Node) ObserveDuration(name string, d time.Duration) {
+	n.nw.collector.ObserveLatency(name, d)
 }
 
 // Logf implements consensus.Environment.

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is an immutable view of one run's observability state: paired
+// phase spans, histogram statistics, and message counts. It is the exchange
+// format between a collector and the exporters (Chrome-trace timelines,
+// plaintext summaries) and is identical in shape for the simulator (virtual
+// time) and the live runtime (wall time since run start).
+type Snapshot struct {
+	// End is the latest event time seen (the run-level span's end when
+	// RecordRunPhases ran, otherwise the latest span event).
+	End time.Duration `json:"end_ns"`
+	// Spans are the paired phase intervals, sorted by (Start, Proc, Kind).
+	Spans []Span `json:"spans,omitempty"`
+	// SpansDropped counts span events lost to ring wraparound.
+	SpansDropped uint64 `json:"spans_dropped,omitempty"`
+	// Histograms are the non-empty histograms, sorted by name.
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	// Sent, Delivered, and Dropped are the per-type message counts, sorted
+	// by type name.
+	Sent      []TypeCount `json:"sent,omitempty"`
+	Delivered []TypeCount `json:"delivered,omitempty"`
+	Dropped   []TypeCount `json:"dropped,omitempty"`
+}
+
+// Snapshot captures the collector's current observability state. It takes
+// the collector lock per section (never across user code), so a live
+// cluster may still be feeding the collector; each section is internally
+// coherent.
+func (c *Collector) Snapshot() Snapshot {
+	events := c.SpanEvents()
+	var end time.Duration
+	for _, ev := range events {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+	kinds := c.SpanKindNames()
+	name := func(id int32) string {
+		if id < 0 || int(id) >= len(kinds) {
+			return ""
+		}
+		return kinds[id]
+	}
+	return Snapshot{
+		End:          end,
+		Spans:        PairSpans(events, name, end),
+		SpansDropped: c.SpansDropped(),
+		Histograms:   c.HistogramSnapshots(),
+		Sent:         c.SentCounts(),
+		Delivered:    c.DeliveredCounts(),
+		Dropped:      c.DroppedCounts(),
+	}
+}
+
+// spanKindStat aggregates one span kind for the summary.
+type spanKindStat struct {
+	kind  string
+	count int
+	total time.Duration
+}
+
+// Summary renders the snapshot as a plaintext report: per-kind span
+// statistics followed by histogram quantiles — the `-hist` output of
+// cmd/scenario.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run end: %v\n", s.End)
+	if len(s.Spans) > 0 {
+		byKind := make(map[string]*spanKindStat)
+		var order []string
+		for _, sp := range s.Spans {
+			st, ok := byKind[sp.Kind]
+			if !ok {
+				st = &spanKindStat{kind: sp.Kind}
+				byKind[sp.Kind] = st
+				order = append(order, sp.Kind)
+			}
+			st.count++
+			st.total += sp.End - sp.Start
+		}
+		sort.Strings(order)
+		b.WriteString("\nspans:\n")
+		fmt.Fprintf(&b, "  %-16s %8s %14s %14s\n", "kind", "count", "total", "mean")
+		for _, k := range order {
+			st := byKind[k]
+			mean := time.Duration(0)
+			if st.count > 0 {
+				mean = st.total / time.Duration(st.count)
+			}
+			fmt.Fprintf(&b, "  %-16s %8d %14v %14v\n", st.kind, st.count, st.total, mean)
+		}
+		if s.SpansDropped > 0 {
+			fmt.Fprintf(&b, "  (%d span events lost to ring wraparound)\n", s.SpansDropped)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("\nhistograms:\n")
+		fmt.Fprintf(&b, "  %-24s %8s %12s %12s %12s %12s\n", "name", "count", "p50", "p95", "p99", "max")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "  %-24s %8d %12s %12s %12s %12s\n",
+				h.Name, h.Count, h.format(h.P50), h.format(h.P95), h.format(h.P99), h.format(h.Max))
+		}
+	}
+	return b.String()
+}

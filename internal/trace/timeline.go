@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TimelineProcess is one run in a Chrome-trace timeline: the snapshot's
+// spans render under one trace "process" (pid), with one "thread" (tid) per
+// consensus process plus a run-level lane. A multi-run report exports each
+// (protocol, seed) run as its own pid so timelines stay side by side in one
+// file.
+type TimelineProcess struct {
+	// PID is the trace process ID (any distinct small integer).
+	PID int
+	// Name labels the process in the viewer ("scenario/protocol/seed=N").
+	Name string
+	// Snap is the run's observability snapshot.
+	Snap Snapshot
+}
+
+// chromeEvent is one entry of the Chrome trace event format
+// (chrome://tracing and https://ui.perfetto.dev consume it). Only the "X"
+// (complete) and "M" (metadata) phases are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// runLevelTID is the tid of the run-level lane (spans with Proc −1);
+// process p renders as tid p+1. Chrome trace tids must be non-negative.
+const runLevelTID = 0
+
+// WriteChromeTrace writes the runs as one Chrome-trace-format JSON document.
+// Span times are exported in microseconds (the format's unit); virtual
+// simulator time and live wall time are both durations since run start, so
+// the same Spec produces directly comparable timelines on either backend.
+func WriteChromeTrace(w io.Writer, procs []TimelineProcess) error {
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, p := range procs {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: p.PID, TID: runLevelTID,
+			Args: map[string]any{"name": p.Name},
+		})
+		tids := map[int]bool{}
+		for _, sp := range p.Snap.Spans {
+			tids[sp.Proc+1] = true
+		}
+		tidList := make([]int, 0, len(tids))
+		for tid := range tids {
+			tidList = append(tidList, tid)
+		}
+		sort.Ints(tidList)
+		for _, tid := range tidList {
+			name := fmt.Sprintf("p%d", tid-1)
+			if tid == runLevelTID {
+				name = "run"
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: p.PID, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		for _, sp := range p.Snap.Spans {
+			dur := float64(sp.End-sp.Start) / 1e3
+			args := map[string]any{"value": sp.Value}
+			if sp.Open {
+				args["open"] = true
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("%s %d", sp.Kind, sp.Value),
+				Cat:  sp.Kind,
+				Ph:   "X",
+				Ts:   float64(sp.Start) / 1e3,
+				Dur:  &dur,
+				PID:  p.PID,
+				TID:  sp.Proc + 1,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

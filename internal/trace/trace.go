@@ -55,6 +55,24 @@ type Collector struct {
 	sentByID    []int64
 	deliveredID []int64
 	droppedByID []int64
+
+	// Span ring (span.go). spansOn gates emission with a plain bool read;
+	// it must be set (EnableSpans) before the run starts. spanTotal counts
+	// every record ever written, so wraparound drops are observable.
+	spansOn       bool
+	spanBuf       []SpanEvent
+	spanHead      int
+	spanTotal     uint64
+	spanKindIDs   map[string]int32
+	spanKindNames []string
+
+	// Histogram registry (hist.go). histOn gates observation like spansOn.
+	// histIDs/histByID form the sim-only interned fast path, mirroring the
+	// message-type counter table above.
+	histOn   bool
+	hists    map[string]*Histogram
+	histIDs  map[string]int
+	histByID []*Histogram
 }
 
 // NewCollector returns an empty collector with logging disabled.
@@ -83,6 +101,15 @@ func (c *Collector) Intern(name string) int {
 	c.deliveredID = append(c.deliveredID, 0)
 	c.droppedByID = append(c.droppedByID, 0)
 	return id
+}
+
+// TypeName resolves an interned message-type ID (sim backend only; the
+// table is written lock-free by Intern).
+func (c *Collector) TypeName(id int) string {
+	if id < 0 || id >= len(c.types) {
+		return ""
+	}
+	return c.types[id]
 }
 
 // SentID records a send on the interned fast path (sim backend only).
@@ -249,6 +276,39 @@ func (c *Collector) DroppedByType() map[string]int {
 	return c.merged(c.dropped, c.droppedByID)
 }
 
+// TypeCount is one entry of a sorted per-type counts listing.
+type TypeCount struct {
+	Type  string `json:"type"`
+	Count int    `json:"count"`
+}
+
+// sortedCounts renders a counts map as a name-sorted slice.
+func sortedCounts(m map[string]int) []TypeCount {
+	out := make([]TypeCount, 0, len(m))
+	for k, v := range m {
+		out = append(out, TypeCount{Type: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}
+
+// SentCounts returns the per-type send counts sorted by type name — the
+// deterministically ordered form of SentByType, for renderers and tests
+// that iterate.
+func (c *Collector) SentCounts() []TypeCount {
+	return sortedCounts(c.SentByType())
+}
+
+// DeliveredCounts returns the per-type delivery counts sorted by type name.
+func (c *Collector) DeliveredCounts() []TypeCount {
+	return sortedCounts(c.DeliveredByType())
+}
+
+// DroppedCounts returns the per-type drop counts sorted by type name.
+func (c *Collector) DroppedCounts() []TypeCount {
+	return sortedCounts(c.DroppedByType())
+}
+
 // SentBetween returns how many send events of series-agnostic messages
 // occurred; the network calls MessageSent once per Send, so rates over an
 // interval are computed by the caller from snapshots.
@@ -260,13 +320,18 @@ func (c *Collector) SentBetween(before, after map[string]int) int {
 	return total
 }
 
-// Series returns a copy of the named time series in emission order.
+// Series returns a copy of the named time series ordered by observation
+// time (stable, so samples at the same instant keep emission order). Under
+// the simulator emission order already is time order; under the live
+// runtime concurrent writers append in scheduler order, and the sort makes
+// the returned series deterministic in content, not in race outcome.
 func (c *Collector) Series(kind string) []Sample {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.series[kind]
 	out := make([]Sample, len(s))
 	copy(out, s)
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }
 
