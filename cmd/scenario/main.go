@@ -12,6 +12,10 @@
 //	               [-delta D] [-workers W] [-backend B] [-failfast]
 //	               [-observe] [-format text|csv|json]
 //	               [-cpuprofile F] [-memprofile F] <name>|all
+//	scenario rsm-bench [-backend sim|live|live-tcp] [-clients N] [-ops N]
+//	                   [-n N] [-keys N] [-batch 1,8] [-pipeline 1,4]
+//	                   [-queue N] [-linger D] [-open D] [-delta D] [-seed S]
+//	                   [-format text|csv|json] [-timeline out.json]
 //
 // `list` enumerates the canned scenarios and the registered protocols.
 // `run` executes a scenario across its protocol set and seed matrix and
@@ -43,6 +47,16 @@
 // ui.perfetto.dev); `run -hist` prints every histogram merged across runs.
 // Both imply -observe.
 //
+// `rsm-bench` drives the replicated-log serving path (internal/rsm) with the
+// multi-client workload generator (internal/rsmbench): closed-loop by
+// default, open-loop with -open. -batch and -pipeline take comma lists that
+// are crossed into one run per (batch, pipeline) cell, so
+// `rsm-bench -batch 1,8 -pipeline 1,4` prints the batching/pipelining
+// speedup matrix directly. Every run reports ops/sec and commit-latency
+// quantiles and always checks the exactly-once, apply-order, and
+// cross-replica agreement invariants; any violation (or timeout) makes the
+// command exit non-zero, so a bench run doubles as a CI gate.
+//
 // Both run and sweep take -cpuprofile and -memprofile, writing pprof
 // profiles that cover exactly the executed workload — perf work profiles
 // the real scenario engine under the real regime mix instead of a
@@ -57,10 +71,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/protocol"
+	"repro/internal/rsmbench"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -74,7 +90,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: scenario <list|run|sweep> [flags] [name]")
+		return fmt.Errorf("usage: scenario <list|run|sweep|rsm-bench> [flags] [name]")
 	}
 	switch args[0] {
 	case "list":
@@ -83,8 +99,10 @@ func run(args []string, out io.Writer) error {
 		return cmdRun(args[1:], out)
 	case "sweep":
 		return cmdSweep(args[1:], out)
+	case "rsm-bench":
+		return cmdRSMBench(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want list, run, or sweep)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want list, run, sweep, or rsm-bench)", args[0])
 	}
 }
 
@@ -313,6 +331,121 @@ func runSpecs(specs []scenario.Spec, out io.Writer, opts runOpts) error {
 	}
 	if violated > 0 {
 		return fmt.Errorf("%d invariant violation(s)", violated)
+	}
+	return nil
+}
+
+// parseIntList parses a comma-separated list of positive ints ("1,8").
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-%s: bad value %q (want positive ints, e.g. \"1,8\")", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdRSMBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scenario rsm-bench", flag.ContinueOnError)
+	var (
+		backend  = fs.String("backend", rsmbench.BackendSim, "substrate: sim, live, or live-tcp")
+		n        = fs.Int("n", 0, "replica count (default 3)")
+		clients  = fs.Int("clients", 0, "workload clients (default 8)")
+		ops      = fs.Int("ops", 0, "operations per client (default 20)")
+		keys     = fs.Int("keys", 0, "key-space size (default 16)")
+		batch    = fs.String("batch", "", "max batch sizes, comma list crossed with -pipeline (default rsm default: 8)")
+		pipeline = fs.String("pipeline", "", "max in-flight slots, comma list crossed with -batch (default rsm default: 4)")
+		queue    = fs.Int("queue", 0, "proposal queue bound before Busy shedding (default 1024)")
+		linger   = fs.Duration("linger", 0, "batch linger window (default 0: flush on idle pipeline)")
+		open     = fs.Duration("open", 0, "open-loop issue interval (default 0: closed loop)")
+		delta    = fs.Duration("delta", 0, "network delay bound δ (default 2ms)")
+		seed     = fs.Int64("seed", 0, "substrate seed (default 1)")
+		format   = fs.String("format", "text", "output format: text, csv, or json")
+		timeline = fs.String("timeline", "", "write a Chrome-trace timeline of every run to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v; rsm-bench takes only flags", fs.Args())
+	}
+	if *format != "text" && *format != "csv" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text, csv, or json)", *format)
+	}
+	batches, pipelines := []int{0}, []int{0}
+	var err error
+	if *batch != "" {
+		if batches, err = parseIntList("batch", *batch); err != nil {
+			return err
+		}
+	}
+	if *pipeline != "" {
+		if pipelines, err = parseIntList("pipeline", *pipeline); err != nil {
+			return err
+		}
+	}
+
+	var results []*rsmbench.Result
+	var procs []trace.TimelineProcess
+	for _, b := range batches {
+		for _, k := range pipelines {
+			res, err := rsmbench.Run(rsmbench.Config{
+				Backend: *backend, N: *n, Clients: *clients, Ops: *ops,
+				Keys: *keys, MaxBatch: b, MaxInFlight: k, MaxQueue: *queue,
+				Linger: *linger, OpenInterval: *open, Delta: *delta,
+				Seed: *seed, Observe: *timeline != "",
+			})
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+			if *timeline != "" {
+				procs = append(procs, trace.TimelineProcess{
+					PID:  len(procs),
+					Name: fmt.Sprintf("rsm-bench/%s/batch=%d/k=%d", res.Backend, res.MaxBatch, res.MaxInFlight),
+					Snap: res.Collector().Snapshot(),
+				})
+			}
+		}
+	}
+
+	switch *format {
+	case "csv":
+		fmt.Fprint(out, rsmbench.CSV(results))
+	case "json":
+		s, err := rsmbench.JSON(results)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, s)
+	default:
+		fmt.Fprint(out, rsmbench.Text(results))
+	}
+	if *timeline != "" {
+		fh, err := os.Create(*timeline)
+		if err != nil {
+			return fmt.Errorf("create timeline: %w", err)
+		}
+		werr := trace.WriteChromeTrace(fh, procs)
+		if cerr := fh.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("write timeline: %w", werr)
+		}
+		fmt.Fprintf(out, "timeline: %d run(s) written to %s (open in chrome://tracing or ui.perfetto.dev)\n", len(procs), *timeline)
+	}
+	failed := 0
+	for _, r := range results {
+		if !r.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d run(s) failed (timeout or invariant violations)", failed)
 	}
 	return nil
 }

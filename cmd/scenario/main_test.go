@@ -384,3 +384,126 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 		}
 	}
 }
+
+// TestRSMBenchMatrix crosses -batch and -pipeline into one run per cell and
+// checks the CSV carries the knobs and a positive throughput for each.
+func TestRSMBenchMatrix(t *testing.T) {
+	out, err := capture(t, "rsm-bench", "-clients", "3", "-ops", "4",
+		"-batch", "1,8", "-pipeline", "1,4", "-format", "csv")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+4 {
+		t.Fatalf("got %d CSV rows, want 4 (2 batches × 2 pipelines):\n%s", len(lines)-1, out)
+	}
+	if !strings.HasPrefix(lines[0], "backend,clients,ops,batch,pipeline,") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+	cells := make(map[string]bool)
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if f[0] != "sim" || f[13] != "0" {
+			t.Fatalf("unexpected row %q", line)
+		}
+		cells[f[3]+"/"+f[4]] = true
+	}
+	for _, want := range []string{"1/1", "1/4", "8/1", "8/4"} {
+		if !cells[want] {
+			t.Errorf("missing batch/pipeline cell %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestRSMBenchJSON pins the report schema the CI artifact is built from.
+func TestRSMBenchJSON(t *testing.T) {
+	out, err := capture(t, "rsm-bench", "-clients", "2", "-ops", "3", "-format", "json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	var results []struct {
+		Backend   string  `json:"backend"`
+		TotalOps  int64   `json:"total_ops"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+		Completed bool    `json:"completed"`
+		Commit    *struct {
+			P99 float64 `json:"p99"`
+		} `json:"commit_latency"`
+		Violations []string `json:"violations"`
+	}
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if len(results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(results))
+	}
+	r := results[0]
+	if r.Backend != "sim" || !r.Completed || r.TotalOps != 6 ||
+		r.OpsPerSec <= 0 || r.Commit == nil || r.Commit.P99 <= 0 || len(r.Violations) != 0 {
+		t.Fatalf("unexpected result: %+v\n%s", r, out)
+	}
+}
+
+// TestRSMBenchLiveBackend smokes the wall-clock path the CI job gates on.
+func TestRSMBenchLiveBackend(t *testing.T) {
+	out, err := capture(t, "rsm-bench", "-backend", "live",
+		"-clients", "2", "-ops", "3", "-delta", "1ms")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "live") {
+		t.Errorf("unexpected live bench output:\n%s", out)
+	}
+}
+
+// TestRSMBenchTimeline smokes the Chrome-trace export of a bench run.
+func TestRSMBenchTimeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out, err := capture(t, "rsm-bench", "-clients", "2", "-ops", "3", "-timeline", path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "timeline: 1 run(s) written to "+path) {
+		t.Errorf("missing timeline confirmation:\n%s", out)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("timeline is not valid Chrome-trace JSON: %v", err)
+	}
+	ops := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Cat == "rsm-op" {
+			ops++
+		}
+	}
+	if ops != 6 {
+		t.Errorf("timeline has %d rsm-op spans, want 6", ops)
+	}
+}
+
+func TestRSMBenchRejectsBadFlags(t *testing.T) {
+	if _, err := capture(t, "rsm-bench", "-batch", "0"); err == nil {
+		t.Fatal("non-positive batch should fail")
+	}
+	if _, err := capture(t, "rsm-bench", "-pipeline", "two"); err == nil {
+		t.Fatal("non-numeric pipeline should fail")
+	}
+	if _, err := capture(t, "rsm-bench", "-backend", "warp"); err == nil {
+		t.Fatal("unknown backend should fail")
+	}
+	if _, err := capture(t, "rsm-bench", "stray"); err == nil {
+		t.Fatal("positional argument should fail")
+	}
+	if _, err := capture(t, "rsm-bench", "-format", "xml"); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+}

@@ -20,6 +20,14 @@ type DurationObserver interface {
 	ObserveDuration(name string, d time.Duration)
 }
 
+// ValueObserver is optionally implemented by Environments whose collector
+// can record dimensionless histogram observations (batch sizes, queue
+// depths).
+type ValueObserver interface {
+	// ObserveValue records one count observation into the named histogram.
+	ObserveValue(name string, v int64)
+}
+
 // BeginSpan opens (or re-opens — a begin for an already-open kind closes
 // the previous span) a phase span on environments that support spans; a
 // no-op elsewhere. The type assertion is the only cost on unsupporting or
@@ -42,5 +50,13 @@ func EndSpan(env Environment, kind string, value int64) {
 func ObserveDuration(env Environment, name string, d time.Duration) {
 	if o, ok := env.(DurationObserver); ok {
 		o.ObserveDuration(name, d)
+	}
+}
+
+// ObserveValue records a count observation on environments that support
+// histograms; a no-op elsewhere.
+func ObserveValue(env Environment, name string, v int64) {
+	if o, ok := env.(ValueObserver); ok {
+		o.ObserveValue(name, v)
 	}
 }

@@ -308,6 +308,11 @@ func (n *Node) ObserveDuration(name string, d time.Duration) {
 	n.cluster.collector.ObserveLatency(name, d)
 }
 
+// ObserveValue implements consensus.ValueObserver.
+func (n *Node) ObserveValue(name string, v int64) {
+	n.cluster.collector.ObserveValue(name, v)
+}
+
 // SpansEnabled lets layered environments (the RSM slot env) skip span
 // bookkeeping when recording is off.
 func (n *Node) SpansEnabled() bool { return n.cluster.collector.SpansEnabled() }

@@ -1,0 +1,73 @@
+package rsm
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/core/consensus"
+)
+
+// Command is one client operation inside a batched slot value. Client and
+// Seq form the session identity used for exactly-once deduplication at
+// apply time: Seq is 1-based and monotonic per client, and Seq == 0 marks a
+// sessionless command (legacy injection paths) that is applied
+// unconditionally.
+type Command struct {
+	Client int64
+	Seq    uint64
+	Op     consensus.Value
+}
+
+// batchPrefix versions the on-wire batch encoding. A decided value without
+// it is treated as a single sessionless command, so raw values injected by
+// tests (or decided by recovery ballots of older logs) still apply.
+const batchPrefix = "b1|"
+
+// EncodeBatch packs commands into one consensus value. The encoding is
+// length-prefixed per entry ("client,seq,oplen:op"), so ops may contain any
+// bytes including the separator.
+func EncodeBatch(cmds []Command) consensus.Value {
+	var b strings.Builder
+	b.WriteString(batchPrefix)
+	for _, c := range cmds {
+		b.WriteString(strconv.FormatInt(c.Client, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(c.Seq, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(len(c.Op)))
+		b.WriteByte(':')
+		b.WriteString(string(c.Op))
+	}
+	return consensus.Value(b.String())
+}
+
+// DecodeBatch unpacks a slot value into its commands. Non-batch values
+// (including anything malformed) decode as a single sessionless command, so
+// every decided non-NoOp value applies exactly once somehow.
+func DecodeBatch(v consensus.Value) []Command {
+	s := string(v)
+	if !strings.HasPrefix(s, batchPrefix) {
+		return []Command{{Op: v}}
+	}
+	rest := s[len(batchPrefix):]
+	var out []Command
+	for len(rest) > 0 {
+		head, tail, ok := strings.Cut(rest, ":")
+		if !ok {
+			return []Command{{Op: v}}
+		}
+		parts := strings.SplitN(head, ",", 3)
+		if len(parts) != 3 {
+			return []Command{{Op: v}}
+		}
+		client, err1 := strconv.ParseInt(parts[0], 10, 64)
+		seq, err2 := strconv.ParseUint(parts[1], 10, 64)
+		opLen, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || opLen < 0 || opLen > len(tail) {
+			return []Command{{Op: v}}
+		}
+		out = append(out, Command{Client: client, Seq: seq, Op: consensus.Value(tail[:opLen])})
+		rest = tail[opLen:]
+	}
+	return out
+}

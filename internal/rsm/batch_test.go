@@ -1,0 +1,61 @@
+package rsm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core/consensus"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := []Command{
+		{Client: 7, Seq: 1, Op: "set a 1"},
+		{Client: 9, Seq: 300, Op: ""},
+		{Client: -1, Seq: 0, Op: "raw bytes with : and , and | inside"},
+	}
+	out := DecodeBatch(EncodeBatch(in))
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestBatchSingleEntry(t *testing.T) {
+	in := []Command{{Client: 3, Seq: 5, Op: "set k v"}}
+	out := DecodeBatch(EncodeBatch(in))
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestDecodeNonBatchValueIsSessionless(t *testing.T) {
+	out := DecodeBatch("set color blue")
+	want := []Command{{Op: "set color blue"}}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %+v, want %+v", out, want)
+	}
+}
+
+func TestDecodeMalformedFallsBack(t *testing.T) {
+	for _, v := range []consensus.Value{
+		"b1|garbage",
+		"b1|1,2,999:short",
+		"b1|1,2:missing-len",
+		"b1|x,y,z:abc",
+	} {
+		out := DecodeBatch(v)
+		if len(out) != 1 || out[0].Op != v || out[0].Seq != 0 {
+			t.Fatalf("malformed %q decoded to %+v, want single sessionless fallback", v, out)
+		}
+	}
+}
+
+func TestEncodeEmptyBatchIsNotNoOp(t *testing.T) {
+	// An empty batch still encodes to a non-NoOp value (slots proposed with
+	// it would apply zero commands, not be skipped as recovery NoOps).
+	if v := EncodeBatch(nil); v == NoOp {
+		t.Fatal("empty batch encoded as NoOp")
+	}
+	if out := DecodeBatch(EncodeBatch(nil)); len(out) != 0 {
+		t.Fatalf("empty batch decoded to %+v", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core/consensus"
@@ -16,7 +17,8 @@ func RegisterMessages() {
 	live.RegisterMessages()
 	registerRSMOnce.Do(func() {
 		for _, m := range []consensus.Message{
-			ClientPropose{}, Redirect{}, Committed{}, Query{}, QueryReply{}, SlotMsg{},
+			ClientPropose{}, Redirect{}, Committed{}, Busy{},
+			Query{}, QueryReply{}, SlotMsg{}, Learn{}, LearnReply{},
 		} {
 			gob.Register(m)
 		}
@@ -25,9 +27,25 @@ func RegisterMessages() {
 
 var registerRSMOnce sync.Once
 
+// ClientStats counts a client's traffic for observability and tests.
+type ClientStats struct {
+	// Ops is the number of committed proposals.
+	Ops int64
+	// Retries counts proposal retransmissions (timeout slices, redirects).
+	Retries int64
+	// Busy counts Busy rejections received.
+	Busy int64
+	// Redirects counts leader redirections followed.
+	Redirects int64
+	// InboxDrops counts replies shed because the bounded inbox was full.
+	InboxDrops int64
+}
+
 // Client talks to a live replica group through the same transport the
 // replicas use. It registers itself under an ID outside the replica range
-// (clients are not consensus participants).
+// (clients are not consensus participants) and runs one session: every
+// proposal carries (client, seq), so server-side dedup makes its
+// retransmissions exactly-once at apply time.
 type Client struct {
 	id        consensus.ProcessID
 	transport live.Transport
@@ -35,55 +53,114 @@ type Client struct {
 	mu      sync.Mutex
 	inbox   chan consensus.Message
 	timeout time.Duration
+	// retryEvery is the in-flight retransmission period; timeouts are only
+	// reached after several retransmissions have gone unanswered.
+	retryEvery time.Duration
+	seq        uint64
+	reqID      uint64
+
+	ops, retries, busy, redirects, inboxDrops atomic.Int64
 }
 
 // NewClient registers a client with the transport. The id must not collide
 // with any replica ID (use N, N+1, ...).
 func NewClient(id consensus.ProcessID, transport live.Transport) *Client {
 	c := &Client{
-		id:        id,
-		transport: transport,
-		inbox:     make(chan consensus.Message, 64),
-		timeout:   5 * time.Second,
+		id:         id,
+		transport:  transport,
+		inbox:      make(chan consensus.Message, 64),
+		timeout:    5 * time.Second,
+		retryEvery: 250 * time.Millisecond,
 	}
 	transport.Register(id, func(_ consensus.ProcessID, m consensus.Message) {
 		select {
 		case c.inbox <- m:
-		default: // slow client: drop, the caller will time out and retry
+		default:
+			// Bounded inbox: shed and count. Replies are retransmitted by
+			// the retry loop (proposals) or the server (parked queries), so
+			// a shed reply delays an operation instead of losing it.
+			c.inboxDrops.Add(1)
 		}
 	})
 	return c
 }
 
 // SetTimeout adjusts the per-operation timeout (default 5s).
-func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+func (c *Client) SetTimeout(d time.Duration) {
+	c.timeout = d
+	if c.retryEvery > d/4 {
+		c.retryEvery = d / 4
+	}
+}
+
+// SetRetryInterval adjusts the retransmission period (default 250ms,
+// clamped to a quarter of the timeout by SetTimeout).
+func (c *Client) SetRetryInterval(d time.Duration) {
+	if d > 0 {
+		c.retryEvery = d
+	}
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Ops:        c.ops.Load(),
+		Retries:    c.retries.Load(),
+		Busy:       c.busy.Load(),
+		Redirects:  c.redirects.Load(),
+		InboxDrops: c.inboxDrops.Load(),
+	}
+}
 
 // Propose submits a command to the replica group and blocks until it is
-// committed to a slot.
+// applied in a slot. Retries (on Busy, Redirect, or silence) reuse the same
+// session sequence number, so the command executes exactly once even when
+// proposed repeatedly.
 func (c *Client) Propose(cmd consensus.Value) (int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.seq++
+	seq := c.seq
 	leader := Leader()
-	deadline := time.Now().Add(c.timeout)
-	c.transport.Send(c.id, leader, ClientPropose{Cmd: cmd})
+	send := func() {
+		c.transport.Send(c.id, leader, ClientPropose{Client: int64(c.id), Seq: seq, Cmd: cmd})
+	}
+	send()
+	deadline := time.NewTimer(c.timeout)
+	defer deadline.Stop()
+	retry := time.NewTimer(c.retryEvery)
+	defer retry.Stop()
+	backoff := c.retryEvery
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return 0, fmt.Errorf("rsm: propose %q timed out after %v", cmd, c.timeout)
-		}
 		select {
 		case m := <-c.inbox:
 			switch msg := m.(type) {
 			case Committed:
-				if msg.Cmd == cmd {
+				if msg.Seq == seq {
+					c.ops.Add(1)
 					return msg.Slot, nil
 				}
-				// A commit for an earlier pipelined proposal: ignore.
+				// An ack for an earlier (already returned) proposal: ignore.
 			case Redirect:
 				leader = msg.Leader
-				c.transport.Send(c.id, leader, ClientPropose{Cmd: cmd})
+				c.redirects.Add(1)
+				c.retries.Add(1)
+				send()
+				resetTimer(retry, c.retryEvery)
+			case Busy:
+				// Rejected, nothing queued: back off before retrying.
+				c.busy.Add(1)
+				backoff *= 2
+				if backoff > c.timeout/2 {
+					backoff = c.timeout / 2
+				}
+				resetTimer(retry, backoff)
 			}
-		case <-time.After(remaining):
+		case <-retry.C:
+			c.retries.Add(1)
+			send()
+			retry.Reset(c.retryEvery)
+		case <-deadline.C:
 			return 0, fmt.Errorf("rsm: propose %q timed out after %v", cmd, c.timeout)
 		}
 	}
@@ -91,27 +168,54 @@ func (c *Client) Propose(cmd consensus.Value) (int64, error) {
 
 // Get reads the applied value of key from one replica, waiting until the
 // replica has applied at least minApplied slots (0 = read immediately).
+// The replica parks unsatisfiable queries and answers when its log catches
+// up, so the client blocks on its inbox instead of sleep-polling;
+// retransmissions only cover lost messages.
 func (c *Client) Get(replica consensus.ProcessID, key string, minApplied int64) (string, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	deadline := time.Now().Add(c.timeout)
+	c.reqID++
+	req := Query{Key: key, MinApplied: minApplied, ReqID: c.reqID}
+	c.transport.Send(c.id, replica, req)
+	deadline := time.NewTimer(c.timeout)
+	defer deadline.Stop()
+	retry := time.NewTimer(c.retryEvery)
+	defer retry.Stop()
+	backoff := c.retryEvery
 	for {
-		if time.Now().After(deadline) {
-			return "", false, fmt.Errorf("rsm: get %q from p%d timed out", key, replica)
-		}
-		c.transport.Send(c.id, replica, Query{Key: key})
-		remaining := time.Until(deadline)
 		select {
 		case m := <-c.inbox:
-			if reply, ok := m.(QueryReply); ok && reply.Key == key {
-				if reply.Applied >= minApplied {
-					return reply.Value, reply.Found, nil
+			switch msg := m.(type) {
+			case QueryReply:
+				if msg.ReqID == req.ReqID {
+					return msg.Value, msg.Found, nil
 				}
+			case Busy:
+				c.busy.Add(1)
+				backoff *= 2
+				if backoff > c.timeout/2 {
+					backoff = c.timeout / 2
+				}
+				resetTimer(retry, backoff)
 			}
-			// Stale or unrelated: re-query after a short pause.
-			time.Sleep(2 * time.Millisecond)
-		case <-time.After(remaining):
+		case <-retry.C:
+			c.retries.Add(1)
+			c.transport.Send(c.id, replica, req)
+			retry.Reset(c.retryEvery)
+		case <-deadline.C:
 			return "", false, fmt.Errorf("rsm: get %q from p%d timed out", key, replica)
 		}
 	}
+}
+
+// resetTimer safely re-arms a timer whose previous duration may not have
+// elapsed.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
 }

@@ -12,13 +12,30 @@
 // message delays (client → leader, phase 2a, phase 2b), exactly the
 // ordinary-Paxos behaviour the paper says the modified algorithm can match.
 //
+// On top of the slot machinery the leader runs a serving path:
+//
+//   - Batching: queued client commands are coalesced into one consensus
+//     instance (up to MaxBatch per slot, optionally lingering for Linger to
+//     fill a batch).
+//   - Pipelining: up to MaxInFlight slots run concurrently; the apply path
+//     already tolerates out-of-order decisions and fills gaps.
+//   - Sessions: commands carry (client, seq); retries after Redirect, Busy,
+//     or timeout are deduplicated at apply time, so client ops are
+//     exactly-once in the log even when proposed twice.
+//   - Backpressure: the proposal queue is bounded (MaxQueue); overflow is
+//     shed with an explicit Busy reply instead of silent loss.
+//
 // Commands are uninterpreted strings applied in slot order; a KV layer
 // ("set key value") is provided for the examples. Slots decided out of
-// order wait for the gap to fill before applying.
+// order wait for the gap to fill before applying. Applied slots retire
+// their protocol instances (timers cancelled, state dropped); replicas that
+// miss a decision catch up via the Learn protocol instead of relying on
+// every instance gossiping forever.
 package rsm
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -32,14 +49,33 @@ import (
 // skipped at apply time.
 const NoOp consensus.Value = ""
 
-// timer multiplexing: each slot instance gets a block of timer IDs.
+// timer multiplexing: block 0 belongs to the replica itself, and each slot
+// instance gets the block at (slot+1)*timersPerSlot.
 const timersPerSlot = 8
 
-// ClientPropose asks the receiving replica to start a new slot with the
-// given command. Only the distinguished proposer (replica 0) accepts it;
-// other replicas redirect.
+// Replica-level timer IDs (block 0).
+const (
+	lingerTimer  consensus.TimerID = 0
+	catchupTimer consensus.TimerID = 1
+)
+
+// slotKeyPrefix namespaces the per-slot decision records in stable storage.
+const slotKeyPrefix = "rsmlog/"
+
+// maxParkedQueries bounds the per-replica list of read queries waiting for
+// the log to reach their MinApplied watermark.
+const maxParkedQueries = 256
+
+// learnChunk bounds the decided slots returned per LearnReply.
+const learnChunk = 64
+
+// ClientPropose asks the receiving replica to order a command. Client and
+// Seq identify the session (Seq == 0 is sessionless: no dedup). Only the
+// distinguished proposer (replica 0) accepts it; other replicas redirect.
 type ClientPropose struct {
-	Cmd consensus.Value
+	Client int64
+	Seq    uint64
+	Cmd    consensus.Value
 }
 
 // Type implements consensus.Message.
@@ -53,18 +89,37 @@ type Redirect struct {
 // Type implements consensus.Message.
 func (Redirect) Type() string { return "rsm-redirect" }
 
-// Committed acknowledges a proposal: the command was decided in Slot.
+// Committed acknowledges a proposal: the command was applied from Slot.
+// Seq echoes the proposal's sequence number so clients match replies to
+// operations (Slot is −1 when a stale retry is acknowledged after the
+// session has moved past it).
 type Committed struct {
 	Slot int64
+	Seq  uint64
 	Cmd  consensus.Value
 }
 
 // Type implements consensus.Message.
 func (Committed) Type() string { return "rsm-committed" }
 
-// Query asks a replica for the applied value of a key.
+// Busy rejects a proposal or query because the replica is at capacity (the
+// proposal queue or parked-query list is full). Clients back off and retry;
+// nothing was enqueued.
+type Busy struct {
+	QueueLen int
+}
+
+// Type implements consensus.Message.
+func (Busy) Type() string { return "rsm-busy" }
+
+// Query asks a replica for the applied value of a key once it has applied
+// at least MinApplied slots; the replica parks unsatisfiable queries and
+// answers when the log catches up (no client polling). ReqID matches the
+// reply to the query.
 type Query struct {
-	Key string
+	Key        string
+	MinApplied int64
+	ReqID      uint64
 }
 
 // Type implements consensus.Message.
@@ -78,6 +133,7 @@ type QueryReply struct {
 	Found bool
 	// Applied is the number of log slots applied at reply time.
 	Applied int64
+	ReqID   uint64
 }
 
 // Type implements consensus.Message.
@@ -97,18 +153,120 @@ func (m SlotMsg) Type() string {
 	return "rsm-" + m.Inner.Type()
 }
 
+// Learn asks a peer for decided slots starting at From. Replicas send it on
+// a timer while their log has a gap below a slot they know exists; it
+// replaces the per-instance eternal decision gossip that retired instances
+// no longer provide.
+type Learn struct {
+	From int64
+}
+
+// Type implements consensus.Message.
+func (Learn) Type() string { return "rsm-learn" }
+
+// SlotValue is one decided (slot, value) pair in a LearnReply.
+type SlotValue struct {
+	Slot int64
+	Val  consensus.Value
+}
+
+// LearnReply returns a chunk of decided slots.
+type LearnReply struct {
+	Entries []SlotValue
+}
+
+// Type implements consensus.Message.
+func (LearnReply) Type() string { return "rsm-learned" }
+
 // Config configures a replica group.
 type Config struct {
 	// Paxos configures every slot instance; Prepared is forced on.
 	Paxos modpaxos.Config
 	// MaxSlots bounds the log (a runaway-proposer backstop; default 1<<20).
 	MaxSlots int64
+	// MaxBatch is the most client commands coalesced into one slot
+	// (default 8).
+	MaxBatch int
+	// Linger holds a partial batch for up to this long waiting for it to
+	// fill (default 0: propose immediately — batching still emerges under
+	// load once the pipeline window is saturated).
+	Linger time.Duration
+	// MaxInFlight is the slot pipelining window: how many instances may run
+	// concurrently (default 4).
+	MaxInFlight int
+	// MaxQueue bounds the leader's proposal queue; overflow is rejected
+	// with Busy (default 1024).
+	MaxQueue int
+	// NewApplier, when set, supplies the state machine per replica instead
+	// of the built-in KVStore (queries then read an empty store).
+	NewApplier func(id consensus.ProcessID) Applier
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxSlots == 0 {
+		c.MaxSlots = 1 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	c.Paxos.Prepared = true
+	return c
 }
 
 // Applier consumes committed commands in slot order. Implementations must
 // be fast: they run on the replica's event loop.
 type Applier interface {
 	Apply(slot int64, cmd consensus.Value)
+}
+
+// EntryApplier is optionally implemented by Appliers that want the batch
+// structure: one call per command with its index within the slot and the
+// full session identity (the rsmbench invariant recorder uses this).
+type EntryApplier interface {
+	ApplyEntry(slot int64, idx int, cmd Command)
+}
+
+// sessionKey identifies one client operation for dedup tracking.
+type sessionKey struct {
+	client int64
+	seq    uint64
+}
+
+// queuedCmd is one client command riding through queue → slot → apply with
+// the clients to acknowledge.
+type queuedCmd struct {
+	cmd        Command
+	waiters    []consensus.ProcessID
+	enqueuedAt time.Duration
+}
+
+func (q *queuedCmd) addWaiter(p consensus.ProcessID) {
+	for _, w := range q.waiters {
+		if w == p {
+			return
+		}
+	}
+	q.waiters = append(q.waiters, p)
+}
+
+// session is the per-client dedup state: the highest applied sequence
+// number and the slot it applied from.
+type session struct {
+	Seq  uint64
+	Slot int64
+}
+
+// parkedQuery is a read waiting for the log to reach its watermark.
+type parkedQuery struct {
+	from consensus.ProcessID
+	q    Query
 }
 
 // Replica is one member of the replicated state machine. It implements
@@ -126,19 +284,45 @@ type Replica struct {
 	nextSlot  int64 // proposer: next slot to assign
 	applied   int64 // number of contiguous slots applied
 	decisions map[int64]consensus.Value
-	waiters   map[int64][]consensus.ProcessID // proposer: who to ack per slot
-	// proposedAt records (on the proposer) when each slot's command was
+	// decidedAt records each slot's decision time until it applies, for the
+	// decide→apply lag histogram.
+	decidedAt map[int64]time.Duration
+	// proposedAt records (on the proposer) when each slot's batch was
 	// submitted, for the slot-decision-latency histogram; entries are
 	// deleted on decision so memory tracks in-flight slots only.
 	proposedAt map[int64]time.Duration
-	// pending maps a slot to the command the proposer submitted for it.
-	// If the slot decides something else (a recovery ballot can win with
-	// the NoOp proposal when the command's phase-2 traffic was lost
-	// before stabilization), the command is re-proposed in a fresh slot —
-	// clients see exactly-once commit of their command, possibly in a
-	// later slot. pending is volatile: a proposer crash loses unacked
-	// commands, which the client's timeout-and-retry covers.
-	pending map[int64]consensus.Value
+
+	// Serving path (leader only).
+	queue    []*queuedCmd // commands awaiting a slot
+	inFlight int          // slots proposed but not yet decided
+	// tracked indexes queued or in-flight session'd commands so a retry
+	// coalesces onto the original instead of proposing twice.
+	tracked map[sessionKey]*queuedCmd
+	// proposed maps an in-flight slot to its batch entries, kept until
+	// apply so waiters are acknowledged only once their command executed.
+	proposed map[int64][]*queuedCmd
+	// pending maps a slot to the encoded batch the proposer submitted. If
+	// the slot decides something else (a recovery ballot can win with the
+	// NoOp proposal when the batch's phase-2 traffic was lost before
+	// stabilization), the batch is re-queued for a fresh slot — commands
+	// commit exactly once, possibly in a later slot. pending is volatile: a
+	// proposer crash loses unacked commands, which client retry + session
+	// dedup covers.
+	pending     map[int64]consensus.Value
+	lingerArmed bool
+
+	// sessions is the apply-side dedup state, rebuilt from the log on
+	// restart because it is only mutated while applying.
+	sessions map[int64]session
+
+	// Catch-up: maxSeen is the highest slot this replica knows exists
+	// (decided locally or referenced by any peer message); while the log
+	// has a gap below it, a timer asks peers for the missing decisions.
+	maxSeen      int64
+	catchupArmed bool
+	catchupPeer  int
+
+	parked []parkedQuery
 
 	// kv is the built-in state machine used when no Applier is given.
 	kv *KVStore
@@ -155,24 +339,29 @@ var _ consensus.Process = (*Replica)(nil)
 
 // New returns a Factory producing RSM replicas with the built-in KV store.
 func New(cfg Config) (consensus.Factory, error) {
-	if cfg.MaxSlots == 0 {
-		cfg.MaxSlots = 1 << 20
-	}
-	cfg.Paxos.Prepared = true
+	cfg = cfg.withDefaults()
 	inner, err := modpaxos.New(cfg.Paxos)
 	if err != nil {
 		return nil, fmt.Errorf("rsm: %w", err)
 	}
 	return func(id consensus.ProcessID, n int, _ consensus.Value) consensus.Process {
-		return &Replica{
+		r := &Replica{
 			id: id, n: n, cfg: cfg, factory: inner,
 			slots:      make(map[int64]*slotState),
 			decisions:  make(map[int64]consensus.Value),
-			waiters:    make(map[int64][]consensus.ProcessID),
-			pending:    make(map[int64]consensus.Value),
+			decidedAt:  make(map[int64]time.Duration),
 			proposedAt: make(map[int64]time.Duration),
+			tracked:    make(map[sessionKey]*queuedCmd),
+			proposed:   make(map[int64][]*queuedCmd),
+			pending:    make(map[int64]consensus.Value),
+			sessions:   make(map[int64]session),
+			maxSeen:    -1,
 			kv:         NewKVStore(),
 		}
+		if cfg.NewApplier != nil {
+			r.applier = cfg.NewApplier(id)
+		}
+		return r
 	}, nil
 }
 
@@ -185,17 +374,47 @@ func (r *Replica) Init(env consensus.Environment) {
 	if r.applier == nil {
 		r.applier = r.kv
 	}
-	// Recover the decided log from stable storage and re-apply.
-	var decided map[int64]consensus.Value
-	if ok, err := env.Store().Get("rsm-decided", &decided); err != nil {
+	// Recover the decided log from its per-slot records and re-apply;
+	// sessions rebuild as a side effect of applying.
+	keys, err := env.Store().Keys()
+	if err != nil {
 		env.Logf("rsm: restore: %v", err)
-	} else if ok {
-		r.decisions = decided
-		r.applyReady()
+	}
+	for _, k := range keys {
+		if !strings.HasPrefix(k, slotKeyPrefix) {
+			continue
+		}
+		slot, err := strconv.ParseInt(k[len(slotKeyPrefix):], 10, 64)
+		if err != nil {
+			continue
+		}
+		var v consensus.Value
+		if ok, err := env.Store().Get(k, &v); err != nil {
+			env.Logf("rsm: restore %s: %v", k, err)
+		} else if ok {
+			r.decisions[slot] = v
+			if slot > r.maxSeen {
+				r.maxSeen = slot
+			}
+		}
 	}
 	var next int64
 	if ok, _ := env.Store().Get("rsm-next", &next); ok {
 		r.nextSlot = next
+	}
+	// Slots assigned before a crash may have decided elsewhere; treat them
+	// as known-to-exist so the catch-up protocol fills any gap.
+	if r.nextSlot-1 > r.maxSeen {
+		r.maxSeen = r.nextSlot - 1
+	}
+	r.applyReady()
+	// Probe peers for decisions made while this replica was down: their
+	// instances may be retired (no more decision gossip), so a restarted
+	// replica must ask. On a fresh cluster the probes return nothing.
+	for i := 0; i < r.n; i++ {
+		if id := consensus.ProcessID(i); id != r.id {
+			r.env.Send(id, Learn{From: r.applied})
+		}
 	}
 }
 
@@ -208,13 +427,27 @@ func (r *Replica) HandleMessage(from consensus.ProcessID, m consensus.Message) {
 		r.onQuery(from, msg)
 	case SlotMsg:
 		r.onSlotMsg(from, msg)
+	case Learn:
+		r.onLearn(from, msg)
+	case LearnReply:
+		r.onLearnReply(from, msg)
 	}
 }
 
-// HandleTimer implements consensus.Process: timer IDs are blocks of
-// timersPerSlot per slot.
+// HandleTimer implements consensus.Process: block 0 holds the replica's own
+// timers, block slot+1 the slot instance's.
 func (r *Replica) HandleTimer(id consensus.TimerID) {
-	slot := int64(id) / timersPerSlot
+	if int64(id) < timersPerSlot {
+		switch id {
+		case lingerTimer:
+			r.lingerArmed = false
+			r.tryFlush(true)
+		case catchupTimer:
+			r.onCatchupTimer()
+		}
+		return
+	}
+	slot := int64(id)/timersPerSlot - 1
 	inner := consensus.TimerID(int64(id) % timersPerSlot)
 	if st, ok := r.slots[slot]; ok {
 		st.proc.HandleTimer(inner)
@@ -226,15 +459,96 @@ func (r *Replica) onPropose(from consensus.ProcessID, msg ClientPropose) {
 		r.env.Send(from, Redirect{Leader: Leader()})
 		return
 	}
-	if r.nextSlot >= r.cfg.MaxSlots {
-		r.env.Logf("rsm: log full at %d slots", r.nextSlot)
+	if msg.Seq != 0 {
+		// Dedup: already applied → ack immediately; already queued or in
+		// flight → coalesce onto the original.
+		if s, ok := r.sessions[msg.Client]; ok && msg.Seq <= s.Seq {
+			slot := int64(-1)
+			if msg.Seq == s.Seq {
+				slot = s.Slot
+			}
+			r.env.Send(from, Committed{Slot: slot, Seq: msg.Seq, Cmd: msg.Cmd})
+			return
+		}
+		if qc, ok := r.tracked[sessionKey{msg.Client, msg.Seq}]; ok {
+			qc.addWaiter(from)
+			return
+		}
+	}
+	if len(r.queue) >= r.cfg.MaxQueue {
+		r.env.Emit("rsm-shed", int64(len(r.queue)))
+		r.env.Send(from, Busy{QueueLen: len(r.queue)})
 		return
 	}
-	slot := r.assignSlot()
-	r.pending[slot] = msg.Cmd
-	r.proposedAt[slot] = r.env.Now()
-	r.waiters[slot] = append(r.waiters[slot], from)
-	r.instance(slot, msg.Cmd) // starts the prepared leader instance
+	qc := &queuedCmd{
+		cmd:        Command{Client: msg.Client, Seq: msg.Seq, Op: msg.Cmd},
+		enqueuedAt: r.env.Now(),
+	}
+	qc.addWaiter(from)
+	r.queue = append(r.queue, qc)
+	if msg.Seq != 0 {
+		r.tracked[sessionKey{msg.Client, msg.Seq}] = qc
+	}
+	consensus.ObserveValue(r.env, trace.HistRSMQueueDepth, int64(len(r.queue)))
+	r.tryFlush(false)
+}
+
+// tryFlush moves queued commands into consensus instances while the
+// pipeline window has room. A partial batch flushes immediately only when
+// the pipeline is idle (the latency-optimal light-load path); while slots
+// are in flight it waits for the next decision to coalesce more commands —
+// no timer needed, a decision always arrives. With Linger set, a partial
+// batch instead waits out the linger window (force is that timer firing);
+// the head batch only, so a full queue still streams out.
+func (r *Replica) tryFlush(force bool) {
+	for len(r.queue) > 0 && r.inFlight < r.cfg.MaxInFlight && r.nextSlot < r.cfg.MaxSlots {
+		if !force && len(r.queue) < r.cfg.MaxBatch {
+			if r.cfg.Linger > 0 {
+				if wait := r.queue[0].enqueuedAt + r.cfg.Linger - r.env.Now(); wait > 0 {
+					if !r.lingerArmed {
+						r.lingerArmed = true
+						r.env.SetTimer(lingerTimer, wait)
+					}
+					return
+				}
+			} else if r.inFlight > 0 {
+				return
+			}
+		}
+		force = false
+		take := r.cfg.MaxBatch
+		if take > len(r.queue) {
+			take = len(r.queue)
+		}
+		batch := make([]*queuedCmd, take)
+		copy(batch, r.queue)
+		r.queue = r.queue[:copy(r.queue, r.queue[take:])]
+
+		cmds := make([]Command, take)
+		for i, qc := range batch {
+			cmds[i] = qc.cmd
+		}
+		val := EncodeBatch(cmds)
+		slot := r.assignSlot()
+		r.pending[slot] = val
+		r.proposed[slot] = batch
+		r.proposedAt[slot] = r.env.Now()
+		r.inFlight++
+		consensus.ObserveValue(r.env, trace.HistBatchSize, int64(take))
+		r.slotSpan(slot, "commit", true, int64(take))
+		r.instance(slot, val)
+	}
+	if len(r.queue) >= r.cfg.MaxBatch {
+		// Window full with a whole batch still queued: no timer needed, the
+		// next decision flushes it.
+		return
+	}
+	if len(r.queue) > 0 && r.cfg.Linger > 0 && !r.lingerArmed {
+		if wait := r.queue[0].enqueuedAt + r.cfg.Linger - r.env.Now(); wait > 0 {
+			r.lingerArmed = true
+			r.env.SetTimer(lingerTimer, wait)
+		}
+	}
 }
 
 // assignSlot allocates the next log slot, persisting the counter so a
@@ -249,15 +563,68 @@ func (r *Replica) assignSlot() int64 {
 }
 
 func (r *Replica) onQuery(from consensus.ProcessID, msg Query) {
+	if msg.MinApplied > r.applied {
+		// Park until the log catches up; duplicates of a retransmitted
+		// query replace their older entry.
+		for i := range r.parked {
+			if r.parked[i].from == from && r.parked[i].q.ReqID == msg.ReqID {
+				r.parked[i].q = msg
+				return
+			}
+		}
+		if len(r.parked) >= maxParkedQueries {
+			r.env.Send(from, Busy{QueueLen: len(r.parked)})
+			return
+		}
+		r.parked = append(r.parked, parkedQuery{from: from, q: msg})
+		return
+	}
+	r.answerQuery(from, msg)
+}
+
+func (r *Replica) answerQuery(from consensus.ProcessID, msg Query) {
 	r.mu.Lock()
 	val, found := r.kv.Get(msg.Key)
 	r.mu.Unlock()
-	r.env.Send(from, QueryReply{Key: msg.Key, Value: val, Found: found, Applied: r.applied})
+	r.env.Send(from, QueryReply{
+		Key: msg.Key, Value: val, Found: found, Applied: r.applied, ReqID: msg.ReqID,
+	})
+}
+
+// flushParked answers parked queries whose watermark the log has reached.
+func (r *Replica) flushParked() {
+	if len(r.parked) == 0 {
+		return
+	}
+	kept := r.parked[:0]
+	for _, p := range r.parked {
+		if p.q.MinApplied <= r.applied {
+			r.answerQuery(p.from, p.q)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	r.parked = kept
 }
 
 func (r *Replica) onSlotMsg(from consensus.ProcessID, msg SlotMsg) {
 	if msg.Slot < 0 || msg.Slot >= r.cfg.MaxSlots || msg.Inner == nil {
 		return
+	}
+	if msg.Slot > r.maxSeen {
+		r.maxSeen = msg.Slot
+		r.checkCatchup()
+	}
+	if v, ok := r.decisions[msg.Slot]; ok {
+		if _, live := r.slots[msg.Slot]; !live {
+			// Retired instance: answer stragglers the way a decided modpaxos
+			// process would, except for Decided announcements (the sender
+			// already knows the value).
+			if _, isDecided := msg.Inner.(modpaxos.Decided); !isDecided {
+				r.env.Send(from, SlotMsg{Slot: msg.Slot, Inner: modpaxos.Decided{Val: v}})
+			}
+			return
+		}
 	}
 	st := r.instance(msg.Slot, NoOp)
 	st.proc.HandleMessage(from, msg.Inner)
@@ -276,64 +643,227 @@ func (r *Replica) instance(slot int64, proposal consensus.Value) *slotState {
 	return st
 }
 
-// onSlotDecided records a slot decision, applies ready slots, and acks
-// waiting clients.
+// retire drops an applied slot's protocol instance: its timers are
+// cancelled and its in-memory state freed. Late messages for the slot are
+// answered from the decision log (onSlotMsg), and gaps elsewhere are filled
+// by the Learn protocol — without this, every decided instance would gossip
+// its decision forever and a long log would drown the event queue.
+func (r *Replica) retire(slot int64) {
+	if _, ok := r.slots[slot]; !ok {
+		return
+	}
+	base := (slot + 1) * timersPerSlot
+	for i := int64(0); i < timersPerSlot; i++ {
+		r.env.CancelTimer(consensus.TimerID(base + i))
+	}
+	delete(r.slots, slot)
+}
+
+// onSlotDecided records a slot decision, re-queues stolen batches, applies
+// ready slots, and refills the pipeline window.
 func (r *Replica) onSlotDecided(slot int64, v consensus.Value) {
 	if _, ok := r.decisions[slot]; ok {
 		return
 	}
 	r.decisions[slot] = v
-	if err := r.env.Store().Put("rsm-decided", r.decisions); err != nil {
-		r.env.Logf("rsm: persist decided: %v", err)
+	if err := r.env.Store().Put(slotKey(slot), v); err != nil {
+		r.env.Logf("rsm: persist slot %d: %v", slot, err)
+	}
+	if slot > r.maxSeen {
+		r.maxSeen = slot
 	}
 	r.env.Emit("rsm-slot-decided", slot)
+	r.decidedAt[slot] = r.env.Now()
 	if at, ok := r.proposedAt[slot]; ok {
 		if d := r.env.Now() - at; d >= 0 {
 			consensus.ObserveDuration(r.env, trace.HistSlotLatency, d)
 		}
 		delete(r.proposedAt, slot)
 	}
-	r.applyReady()
 
-	if cmd, ok := r.pending[slot]; ok && cmd != v {
-		// The slot was stolen (typically by a NoOp recovery ballot):
-		// re-propose the command in a fresh slot and move its waiters.
+	if mine, ok := r.pending[slot]; ok {
+		r.inFlight--
 		delete(r.pending, slot)
-		if r.nextSlot < r.cfg.MaxSlots {
-			again := r.assignSlot()
-			r.pending[again] = cmd
-			r.waiters[again] = r.waiters[slot]
-			delete(r.waiters, slot)
-			r.instance(again, cmd)
-			return
+		r.slotSpan(slot, "commit", false, 0)
+		r.slotSpan(slot, "apply", true, 0)
+		if mine != v {
+			// The slot was stolen (typically by a NoOp recovery ballot):
+			// re-queue the batch at the front for a fresh slot, waiters and
+			// session tracking intact.
+			batch := r.proposed[slot]
+			delete(r.proposed, slot)
+			r.queue = append(batch, r.queue...)
 		}
 	}
-	delete(r.pending, slot)
-	for _, client := range r.waiters[slot] {
-		r.env.Send(client, Committed{Slot: slot, Cmd: v})
-	}
-	delete(r.waiters, slot)
+	r.applyReady()
+	r.tryFlush(false)
 }
 
-// applyReady applies decided slots in order until the first gap.
+// applyReady applies decided slots in order until the first gap,
+// acknowledges the applied commands' waiters, and retires the slots'
+// instances.
 func (r *Replica) applyReady() {
+	progressed := false
 	for {
 		v, ok := r.decisions[r.applied]
 		if !ok {
-			return
+			break
 		}
-		if v != NoOp {
-			r.mu.Lock()
-			r.applier.Apply(r.applied, v)
-			r.mu.Unlock()
-		}
+		slot := r.applied
 		r.applied++
+		progressed = true
+		if v != NoOp {
+			for i, cmd := range DecodeBatch(v) {
+				if cmd.Seq != 0 && r.sessions[cmd.Client].Seq >= cmd.Seq {
+					continue // duplicate of an applied op
+				}
+				r.mu.Lock()
+				if ea, ok := r.applier.(EntryApplier); ok {
+					ea.ApplyEntry(slot, i, cmd)
+				} else {
+					r.applier.Apply(slot, cmd.Op)
+				}
+				r.mu.Unlock()
+				if cmd.Seq != 0 {
+					r.sessions[cmd.Client] = session{Seq: cmd.Seq, Slot: slot}
+				}
+			}
+		}
+		if batch, ok := r.proposed[slot]; ok {
+			for _, qc := range batch {
+				if qc.cmd.Seq != 0 {
+					delete(r.tracked, sessionKey{qc.cmd.Client, qc.cmd.Seq})
+				}
+				for _, w := range qc.waiters {
+					r.env.Send(w, Committed{Slot: slot, Seq: qc.cmd.Seq, Cmd: qc.cmd.Op})
+				}
+			}
+			delete(r.proposed, slot)
+		}
+		if at, ok := r.decidedAt[slot]; ok {
+			if d := r.env.Now() - at; d >= 0 {
+				consensus.ObserveDuration(r.env, trace.HistApplyLag, d)
+			}
+			delete(r.decidedAt, slot)
+		}
+		r.slotSpan(slot, "apply", false, 0)
+		r.retire(slot)
+	}
+	if progressed {
+		r.flushParked()
+	}
+	r.checkCatchup()
+}
+
+// checkCatchup arms the catch-up timer while the log has a gap below a slot
+// known to exist. Idle replicas keep no timer armed.
+func (r *Replica) checkCatchup() {
+	if r.catchupArmed || r.env == nil {
+		return
+	}
+	if r.maxSeen < r.applied {
+		return
+	}
+	if _, ok := r.decisions[r.applied]; ok {
+		return // applyReady will consume it
+	}
+	r.catchupArmed = true
+	r.env.SetTimer(catchupTimer, r.catchupInterval())
+}
+
+func (r *Replica) catchupInterval() time.Duration {
+	if g := r.cfg.Paxos.GossipInterval; g > 0 {
+		return g
+	}
+	return 2 * r.cfg.Paxos.Delta
+}
+
+func (r *Replica) onCatchupTimer() {
+	r.catchupArmed = false
+	if r.maxSeen < r.applied {
+		return
+	}
+	if _, ok := r.decisions[r.applied]; ok {
+		return
+	}
+	// Ask one peer (rotating) for everything from the gap up.
+	for i := 0; i < r.n; i++ {
+		r.catchupPeer = (r.catchupPeer + 1) % r.n
+		if consensus.ProcessID(r.catchupPeer) != r.id {
+			break
+		}
+	}
+	r.env.Send(consensus.ProcessID(r.catchupPeer), Learn{From: r.applied})
+	r.catchupArmed = true
+	r.env.SetTimer(catchupTimer, r.catchupInterval())
+}
+
+func (r *Replica) onLearn(from consensus.ProcessID, msg Learn) {
+	if msg.From < 0 {
+		return
+	}
+	var entries []SlotValue
+	for slot := msg.From; slot <= r.maxSeen && len(entries) < learnChunk; slot++ {
+		if v, ok := r.decisions[slot]; ok {
+			entries = append(entries, SlotValue{Slot: slot, Val: v})
+		}
+	}
+	if len(entries) > 0 {
+		r.env.Send(from, LearnReply{Entries: entries})
+	}
+}
+
+func (r *Replica) onLearnReply(from consensus.ProcessID, msg LearnReply) {
+	before := r.applied
+	for _, e := range msg.Entries {
+		if e.Slot < 0 || e.Slot >= r.cfg.MaxSlots {
+			continue
+		}
+		if _, ok := r.decisions[e.Slot]; !ok {
+			r.onSlotDecided(e.Slot, e.Val)
+		}
+	}
+	// A full chunk that made progress means there is probably more: keep
+	// streaming from the same peer without waiting for the timer.
+	if len(msg.Entries) == learnChunk && r.applied > before {
+		r.env.Send(from, Learn{From: r.applied})
+	}
+}
+
+// slotKey is the stable-storage key of one slot's decision.
+func slotKey(slot int64) string { return slotKeyPrefix + strconv.FormatInt(slot, 10) }
+
+// spansOn reports whether the environment records spans, gating the
+// per-slot kind formatting.
+func (r *Replica) spansOn() bool {
+	if en, ok := r.env.(spanEnabler); ok {
+		return en.SpansEnabled()
+	}
+	return false
+}
+
+// slotSpan emits a slot-lane span ("slotN-commit", "slotN-apply") on the
+// proposer, giving the timeline one lane per pipelined slot.
+func (r *Replica) slotSpan(slot int64, kind string, begin bool, value int64) {
+	if r.id != Leader() || !r.spansOn() {
+		return
+	}
+	if sink, ok := r.env.(consensus.SpanSink); ok {
+		sink.Span(fmt.Sprintf("slot%d-%s", slot, kind), begin, value)
 	}
 }
 
 // Applied returns the number of contiguous applied slots (safe from the
 // event loop; tests use Query instead).
 func (r *Replica) Applied() int64 { return r.applied }
+
+// QueueLen returns the current proposal-queue depth (leader only; test
+// observability).
+func (r *Replica) QueueLen() int { return len(r.queue) }
+
+// InFlight returns the number of undecided proposed slots (leader only;
+// test observability).
+func (r *Replica) InFlight() int { return r.inFlight }
 
 // KVStore is the built-in "set key value" state machine.
 type KVStore struct {

@@ -41,17 +41,18 @@ func (e *slotEnv) Broadcast(m consensus.Message) {
 }
 
 // SetTimer implements consensus.Environment. Inner timer IDs must fit the
-// slot's block.
+// slot's block, which starts one block up: block 0 belongs to the replica's
+// own serving-path timers (linger, catch-up).
 func (e *slotEnv) SetTimer(id consensus.TimerID, d time.Duration) {
 	if int64(id) >= timersPerSlot {
 		panic(fmt.Sprintf("rsm: inner timer id %d exceeds block size %d", id, timersPerSlot))
 	}
-	e.replica.env.SetTimer(consensus.TimerID(e.slot*timersPerSlot+int64(id)), d)
+	e.replica.env.SetTimer(consensus.TimerID((e.slot+1)*timersPerSlot+int64(id)), d)
 }
 
 // CancelTimer implements consensus.Environment.
 func (e *slotEnv) CancelTimer(id consensus.TimerID) {
-	e.replica.env.CancelTimer(consensus.TimerID(e.slot*timersPerSlot + int64(id)))
+	e.replica.env.CancelTimer(consensus.TimerID((e.slot+1)*timersPerSlot + int64(id)))
 }
 
 // Store implements consensus.Environment.

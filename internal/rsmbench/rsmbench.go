@@ -1,0 +1,346 @@
+// Package rsmbench is a multi-client workload generator for the RSM
+// serving path. Clients are ordinary consensus.Processes living on node IDs
+// above the replica range, so the exact same workload runs on the
+// deterministic simulator (virtual-time throughput, reproducible by seed)
+// and the live runtime (wall-clock throughput over the in-memory or TCP
+// transport).
+//
+// Each client runs one session: in closed-loop mode it keeps exactly one
+// operation outstanding and issues the next on commit; in open-loop mode it
+// issues on a fixed interval regardless of acks. Unacked operations are
+// retransmitted with their original sequence numbers, so the server's
+// session dedup keeps the log exactly-once — which the per-replica
+// invariant recorder then verifies.
+package rsmbench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/rsm"
+	"repro/internal/trace"
+)
+
+// Backend names accepted by Config.Backend.
+const (
+	BackendSim     = "sim"
+	BackendLive    = "live"
+	BackendLiveTCP = "live-tcp"
+)
+
+// doneValue is what a client "decides" when its workload completes; the
+// run's safety checker then doubles as the completion barrier.
+const doneValue consensus.Value = "done"
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	// Backend selects the substrate: sim (default), live, live-tcp.
+	Backend string
+	// N is the replica count (default 3).
+	N int
+	// Clients is the number of workload clients (default 8).
+	Clients int
+	// Ops is the number of operations per client (default 20).
+	Ops int
+	// Keys is the key-space size commands write into (default 16).
+	Keys int
+	// MaxBatch, MaxInFlight, MaxQueue and Linger pass through to
+	// rsm.Config (rsm defaults apply when zero; MaxBatch=1 with
+	// MaxInFlight=1 is the single-slot baseline).
+	MaxBatch    int
+	MaxInFlight int
+	MaxQueue    int
+	Linger      time.Duration
+	// Delta is the network delay bound δ (default 2ms).
+	Delta time.Duration
+	// Seed drives the substrate's randomness (default 1).
+	Seed int64
+	// OpenInterval switches clients to open-loop issue at this interval
+	// (0 = closed loop).
+	OpenInterval time.Duration
+	// RetryEvery is the client retransmission period (default 25δ).
+	RetryEvery time.Duration
+	// Horizon bounds the run (default 5 minutes virtual on sim, scaled to
+	// the op count on live).
+	Horizon time.Duration
+	// Observe enables span recording so the run can be exported as a
+	// Chrome-trace timeline (histograms are always on).
+	Observe bool
+	// SpanCapacity sizes the span ring when Observe is set.
+	SpanCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = BackendSim
+	}
+	if c.N == 0 {
+		c.N = 3
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Ops == 0 {
+		c.Ops = 20
+	}
+	if c.Keys == 0 {
+		c.Keys = 16
+	}
+	if c.Delta == 0 {
+		c.Delta = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RetryEvery == 0 {
+		c.RetryEvery = 25 * c.Delta
+	}
+	if c.Horizon == 0 {
+		// Generous: even the unpipelined baseline at ~4δ per op finishes a
+		// serial log well inside this.
+		perOp := 8 * c.Delta
+		c.Horizon = time.Duration(c.Clients*c.Ops)*perOp + 10*time.Second
+	}
+	return c
+}
+
+// client timer IDs.
+const (
+	retryTimerID consensus.TimerID = 0
+	issueTimerID consensus.TimerID = 1
+)
+
+// pendingOp is one issued-but-unacked operation.
+type pendingOp struct {
+	op     consensus.Value
+	sentAt time.Duration
+}
+
+// clientProc is one workload client as a consensus.Process. It proposes to
+// the RSM leader, observes commit latency into the shared collector, and
+// "decides" doneValue when its quota is committed.
+type clientProc struct {
+	cfg    Config
+	id     consensus.ProcessID
+	env    consensus.Environment
+	leader consensus.ProcessID
+
+	issued  int
+	acked   int
+	pending map[uint64]pendingOp
+	done    bool
+
+	busy    int64
+	retries int64
+}
+
+var _ consensus.Process = (*clientProc)(nil)
+
+func newClientProc(cfg Config, id consensus.ProcessID) *clientProc {
+	return &clientProc{cfg: cfg, id: id, leader: rsm.Leader(), pending: make(map[uint64]pendingOp)}
+}
+
+// Init implements consensus.Process.
+func (c *clientProc) Init(env consensus.Environment) {
+	c.env = env
+	c.issueNext()
+	if c.cfg.OpenInterval > 0 && c.issued < c.cfg.Ops {
+		env.SetTimer(issueTimerID, c.cfg.OpenInterval)
+	}
+	env.SetTimer(retryTimerID, c.cfg.RetryEvery)
+}
+
+// issueNext sends the client's next operation (seq = op index + 1).
+func (c *clientProc) issueNext() {
+	if c.issued >= c.cfg.Ops {
+		return
+	}
+	c.issued++
+	seq := uint64(c.issued)
+	key := (int(c.id) + c.issued) % c.cfg.Keys
+	op := consensus.Value(fmt.Sprintf("set k%d c%d-%d", key, int(c.id), seq))
+	c.pending[seq] = pendingOp{op: op, sentAt: c.env.Now()}
+	consensus.BeginSpan(c.env, trace.SpanRSMOp, int64(seq))
+	c.send(seq)
+}
+
+func (c *clientProc) send(seq uint64) {
+	p, ok := c.pending[seq]
+	if !ok {
+		return
+	}
+	c.env.Send(c.leader, rsm.ClientPropose{Client: int64(c.id), Seq: seq, Cmd: p.op})
+}
+
+// HandleMessage implements consensus.Process.
+func (c *clientProc) HandleMessage(_ consensus.ProcessID, m consensus.Message) {
+	switch msg := m.(type) {
+	case rsm.Committed:
+		p, ok := c.pending[msg.Seq]
+		if !ok {
+			return // duplicate ack
+		}
+		delete(c.pending, msg.Seq)
+		c.acked++
+		if d := c.env.Now() - p.sentAt; d >= 0 {
+			consensus.ObserveDuration(c.env, trace.HistCommitLatency, d)
+		}
+		consensus.EndSpan(c.env, trace.SpanRSMOp, int64(msg.Seq))
+		if c.acked >= c.cfg.Ops {
+			c.finish()
+			return
+		}
+		if c.cfg.OpenInterval == 0 {
+			c.issueNext()
+		}
+	case rsm.Busy:
+		// Load was shed; the retry timer re-proposes after a full period,
+		// which is the client's backoff.
+		c.busy++
+	case rsm.Redirect:
+		c.leader = msg.Leader
+		c.resendUnacked()
+	}
+}
+
+// HandleTimer implements consensus.Process.
+func (c *clientProc) HandleTimer(id consensus.TimerID) {
+	if c.done {
+		return
+	}
+	switch id {
+	case retryTimerID:
+		c.retries += c.resendUnacked()
+		c.env.SetTimer(retryTimerID, c.cfg.RetryEvery)
+	case issueTimerID:
+		c.issueNext()
+		if c.issued < c.cfg.Ops {
+			c.env.SetTimer(issueTimerID, c.cfg.OpenInterval)
+		}
+	}
+}
+
+// resendUnacked retransmits pending operations in sequence order (session
+// dedup requires a client's retries to stay ordered) and returns how many.
+func (c *clientProc) resendUnacked() int64 {
+	if len(c.pending) == 0 {
+		return 0
+	}
+	lo, hi := uint64(1), uint64(c.issued)
+	var n int64
+	for seq := lo; seq <= hi; seq++ {
+		if _, ok := c.pending[seq]; ok {
+			c.send(seq)
+			n++
+		}
+	}
+	return n
+}
+
+func (c *clientProc) finish() {
+	c.done = true
+	c.env.CancelTimer(retryTimerID)
+	c.env.CancelTimer(issueTimerID)
+	c.env.Decide(doneValue)
+}
+
+// ApplyRecord is one applied command as seen by a replica's recorder.
+type ApplyRecord struct {
+	Slot   int64
+	Idx    int
+	Client int64
+	Seq    uint64
+}
+
+// Recorder is an rsm.EntryApplier that logs every applied command so the
+// run can verify apply order, dedup, and cross-replica agreement. The
+// mutex is for the live runtime, where each replica applies on its own
+// goroutine.
+type Recorder struct {
+	mu      sync.Mutex
+	entries []ApplyRecord
+}
+
+var (
+	_ rsm.Applier      = (*Recorder)(nil)
+	_ rsm.EntryApplier = (*Recorder)(nil)
+)
+
+// Apply implements rsm.Applier (unused: ApplyEntry is preferred).
+func (r *Recorder) Apply(slot int64, _ consensus.Value) {
+	r.mu.Lock()
+	r.entries = append(r.entries, ApplyRecord{Slot: slot})
+	r.mu.Unlock()
+}
+
+// ApplyEntry implements rsm.EntryApplier.
+func (r *Recorder) ApplyEntry(slot int64, idx int, cmd rsm.Command) {
+	r.mu.Lock()
+	r.entries = append(r.entries, ApplyRecord{Slot: slot, Idx: idx, Client: cmd.Client, Seq: cmd.Seq})
+	r.mu.Unlock()
+}
+
+// Entries returns a snapshot of the applied log.
+func (r *Recorder) Entries() []ApplyRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ApplyRecord, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// scopedProc narrows a replica's view of the cluster to the first n nodes:
+// the bench cluster hosts N replicas plus C clients, but the consensus
+// group is the replicas only, so broadcasts (and majority math) must not
+// include client nodes.
+type scopedProc struct {
+	inner consensus.Process
+	n     int
+}
+
+func (p *scopedProc) Init(env consensus.Environment) {
+	p.inner.Init(&scopedEnv{Environment: env, n: p.n})
+}
+func (p *scopedProc) HandleMessage(from consensus.ProcessID, m consensus.Message) {
+	p.inner.HandleMessage(from, m)
+}
+func (p *scopedProc) HandleTimer(id consensus.TimerID) { p.inner.HandleTimer(id) }
+
+// scopedEnv overrides N and Broadcast to span only the replica group, and
+// forwards the optional observability interfaces the embedded interface
+// value would otherwise hide.
+type scopedEnv struct {
+	consensus.Environment
+	n int
+}
+
+func (e *scopedEnv) N() int { return e.n }
+
+func (e *scopedEnv) Broadcast(m consensus.Message) {
+	for i := 0; i < e.n; i++ {
+		e.Environment.Send(consensus.ProcessID(i), m)
+	}
+}
+
+func (e *scopedEnv) Span(kind string, begin bool, value int64) {
+	if s, ok := e.Environment.(consensus.SpanSink); ok {
+		s.Span(kind, begin, value)
+	}
+}
+
+func (e *scopedEnv) SpansEnabled() bool {
+	if s, ok := e.Environment.(interface{ SpansEnabled() bool }); ok {
+		return s.SpansEnabled()
+	}
+	return false
+}
+
+func (e *scopedEnv) ObserveDuration(name string, d time.Duration) {
+	consensus.ObserveDuration(e.Environment, name, d)
+}
+
+func (e *scopedEnv) ObserveValue(name string, v int64) {
+	consensus.ObserveValue(e.Environment, name, v)
+}

@@ -254,6 +254,11 @@ func (n *Node) ObserveDuration(name string, d time.Duration) {
 	n.nw.collector.ObserveLatency(name, d)
 }
 
+// ObserveValue implements consensus.ValueObserver.
+func (n *Node) ObserveValue(name string, v int64) {
+	n.nw.collector.ObserveValue(name, v)
+}
+
 // Logf implements consensus.Environment.
 func (n *Node) Logf(format string, args ...any) {
 	if n.nw.cfg.Debug {

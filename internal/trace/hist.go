@@ -47,6 +47,17 @@ const (
 	HistDeliveryPrefix = "delivery/"
 	// HistSlotLatency is the RSM's per-slot propose-to-decide latency.
 	HistSlotLatency = "rsm-slot-latency"
+	// HistCommitLatency is the RSM client-path submit-to-ack latency per
+	// operation (the rsm-bench headline quantiles).
+	HistCommitLatency = "rsm-commit-latency"
+	// HistApplyLag is the RSM's per-slot decide-to-apply lag (time spent
+	// waiting for earlier pipelined slots to fill the gap).
+	HistApplyLag = "rsm-apply-lag"
+	// HistBatchSize is the number of client commands coalesced per RSM slot.
+	HistBatchSize = "rsm-batch-size"
+	// HistRSMQueueDepth is the RSM leader's proposal-queue depth at each
+	// enqueue.
+	HistRSMQueueDepth = "rsm-queue-depth"
 	// HistInboxWait is the live runtime's enqueue-to-handle wait per
 	// message (wall-clock receive-side queuing).
 	HistInboxWait = "inbox-wait"

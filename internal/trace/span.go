@@ -30,6 +30,11 @@ const (
 	SpanRound = "round"
 	// SpanDown covers a crash window at one process (value = crash count).
 	SpanDown = "down"
+	// SpanRSMOp covers one RSM client operation from submit to commit ack
+	// at the issuing client (value = sequence number). Together with the
+	// proposer's per-slot "slotN-commit"/"slotN-apply" lanes it gives the
+	// timeline the full propose→commit→apply path.
+	SpanRSMOp = "rsm-op"
 )
 
 // SpanEvent is one raw begin/end record in the collector's span ring. Spans
