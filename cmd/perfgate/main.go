@@ -1,0 +1,319 @@
+// Command perfgate is the CI perf ratchet: it compares fresh measurements
+// against the committed BENCH_*.json baselines and exits non-zero when a
+// metric regresses past its tolerance.
+//
+// Two modes, matching the two baseline formats in the repo:
+//
+//	perfgate -mode bench -baseline BENCH_5.json -input bench.txt
+//	    parses `go test -bench` text output and gates the headline
+//	    BenchmarkSingleRunModifiedPaxos against benchmarks.after in the
+//	    baseline. allocs/op and B/op are host-independent, so their
+//	    tolerances are tight (2% and 10%); ns/op depends on the runner's
+//	    CPU, so its bound is a loose multiplier (4x) that only catches
+//	    gross regressions — the committed medians carry the real numbers.
+//
+//	perfgate -mode rsm -baseline BENCH_7.json -input rsm.json
+//	    reads an rsm-bench -format json report and gates each cell's
+//	    ops_per_sec against the matching "batch=B,k=K ..." cell in the
+//	    baseline. The simulator counts virtual time, so throughput is
+//	    exact modulo the seed and a 5% band covers cross-seed schedule
+//	    variance with room to spare; a baseline cell with no matching run
+//	    in the input is itself a failure (so dropping a cell from the CI
+//	    workload cannot silently pass).
+//
+// Exit codes: 0 pass, 1 regression, 2 usage or parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "", "bench | rsm")
+		baseline  = flag.String("baseline", "", "committed BENCH_*.json baseline")
+		input     = flag.String("input", "", "fresh measurement: go test -bench text (bench) or rsm-bench JSON (rsm)")
+		benchName = flag.String("bench-name", "SingleRunModifiedPaxos", "benchmark to gate in -mode bench")
+		nsTol     = flag.Float64("ns-tol", 4.0, "bench: fail if ns/op exceeds baseline median times this")
+		bytesTol  = flag.Float64("bytes-tol", 0.10, "bench: fail if B/op exceeds baseline median by this fraction")
+		allocsTol = flag.Float64("allocs-tol", 0.02, "bench: fail if allocs/op exceeds baseline median by this fraction")
+		rsmTol    = flag.Float64("tol", 0.05, "rsm: fail if ops_per_sec falls below baseline median by this fraction")
+	)
+	flag.Parse()
+	if *baseline == "" || *input == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -baseline and -input are required")
+		os.Exit(2)
+	}
+
+	var checks []check
+	var err error
+	switch *mode {
+	case "bench":
+		checks, err = gateBench(*baseline, *input, *benchName, *nsTol, *bytesTol, *allocsTol)
+	case "rsm":
+		checks, err = gateRSM(*baseline, *input, *rsmTol)
+	default:
+		fmt.Fprintf(os.Stderr, "perfgate: unknown -mode %q (want bench or rsm)\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(2)
+	}
+
+	failed := 0
+	for _, c := range checks {
+		status := "ok"
+		if !c.pass() {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-52s current=%-12s baseline=%-12s limit=%-12s %s\n",
+			c.name, trimNum(c.current), trimNum(c.base), trimNum(c.limit), status)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "perfgate: %d metric(s) regressed past tolerance\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("perfgate: %d metric(s) within tolerance\n", len(checks))
+}
+
+// check is one gated metric. For "at most" metrics (bench costs) the limit is
+// an upper bound; for "at least" metrics (throughput) it is a lower bound.
+type check struct {
+	name    string
+	current float64
+	base    float64
+	limit   float64
+	lower   bool // limit is a lower bound (throughput), not an upper bound (cost)
+}
+
+func (c check) pass() bool {
+	if c.lower {
+		return c.current >= c.limit
+	}
+	return c.current <= c.limit
+}
+
+func trimNum(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// --- bench mode ---
+
+// benchBaseline matches the benchmarks.after block of BENCH_5.json.
+type benchBaseline struct {
+	Benchmarks struct {
+		After map[string]map[string]struct {
+			Median float64 `json:"median"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func gateBench(baselinePath, inputPath, name string, nsTol, bytesTol, allocsTol float64) ([]check, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	metrics, ok := base.Benchmarks.After[name]
+	if !ok {
+		return nil, fmt.Errorf("%s: no benchmarks.after entry for %q", baselinePath, name)
+	}
+
+	text, err := os.ReadFile(inputPath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := parseBenchOutput(string(text), name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", inputPath, err)
+	}
+
+	gate := func(metric, unit string, got float64, limitOf func(median float64) float64) (check, error) {
+		m, ok := metrics[metric]
+		if !ok {
+			return check{}, fmt.Errorf("%s: baseline %q has no %s metric", baselinePath, name, metric)
+		}
+		return check{
+			name:    fmt.Sprintf("bench %s %s", name, unit),
+			current: got,
+			base:    m.Median,
+			limit:   limitOf(m.Median),
+		}, nil
+	}
+	var checks []check
+	for _, g := range []struct {
+		metric, unit string
+		got          float64
+		limit        func(float64) float64
+	}{
+		{"allocs_op", "allocs/op", cur.allocsOp, func(m float64) float64 { return m * (1 + allocsTol) }},
+		{"bytes_op", "B/op", cur.bytesOp, func(m float64) float64 { return m * (1 + bytesTol) }},
+		{"ns_op", "ns/op", cur.nsOp, func(m float64) float64 { return m * nsTol }},
+	} {
+		c, err := gate(g.metric, g.unit, g.got, g.limit)
+		if err != nil {
+			return nil, err
+		}
+		checks = append(checks, c)
+	}
+	return checks, nil
+}
+
+type benchResult struct {
+	nsOp, bytesOp, allocsOp float64
+}
+
+// parseBenchOutput finds the named benchmark's result line in `go test -bench`
+// text output. The name may carry a -GOMAXPROCS suffix; the value for each
+// metric is the field immediately before its unit token.
+func parseBenchOutput(text, name string) (benchResult, error) {
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		bench := fields[0]
+		if cut := strings.LastIndexByte(bench, '-'); cut > 0 {
+			bench = bench[:cut]
+		}
+		if bench != "Benchmark"+name && fields[0] != "Benchmark"+name {
+			continue
+		}
+		var res benchResult
+		seen := 0
+		for i := 2; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/op":
+				res.nsOp, seen = v, seen+1
+			case "B/op":
+				res.bytesOp, seen = v, seen+1
+			case "allocs/op":
+				res.allocsOp, seen = v, seen+1
+			}
+		}
+		if seen < 3 {
+			return res, fmt.Errorf("benchmark %s line lacks ns/op, B/op, or allocs/op (run with -benchmem): %q", name, line)
+		}
+		return res, nil
+	}
+	return benchResult{}, fmt.Errorf("no Benchmark%s result line found", name)
+}
+
+// --- rsm mode ---
+
+// rsmBaseline matches BENCH_7.json: cells keyed "batch=B,k=K (label)".
+type rsmBaseline struct {
+	Cells map[string]struct {
+		OpsPerSec struct {
+			Median float64 `json:"median"`
+		} `json:"ops_per_sec"`
+	} `json:"cells"`
+}
+
+// rsmRun is the slice element of an rsm-bench -format json report.
+type rsmRun struct {
+	MaxBatch    int     `json:"max_batch"`
+	MaxInFlight int     `json:"max_in_flight"`
+	Completed   bool    `json:"completed"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+func gateRSM(baselinePath, inputPath string, tol float64) ([]check, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base rsmBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	if len(base.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no cells", baselinePath)
+	}
+
+	rawIn, err := os.ReadFile(inputPath)
+	if err != nil {
+		return nil, err
+	}
+	var runs []rsmRun
+	if err := json.Unmarshal(rawIn, &runs); err != nil {
+		return nil, fmt.Errorf("%s: %v", inputPath, err)
+	}
+	byCell := make(map[[2]int]rsmRun, len(runs))
+	for _, r := range runs {
+		byCell[[2]int{r.MaxBatch, r.MaxInFlight}] = r
+	}
+
+	names := make([]string, 0, len(base.Cells))
+	for name := range base.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var checks []check
+	for _, name := range names {
+		batch, k, err := parseCellKey(name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", baselinePath, err)
+		}
+		run, ok := byCell[[2]int{batch, k}]
+		if !ok {
+			return nil, fmt.Errorf("%s has no run for baseline cell %q (batch=%d, k=%d) — was the CI workload narrowed?", inputPath, name, batch, k)
+		}
+		if !run.Completed {
+			return nil, fmt.Errorf("%s: run for cell %q did not complete", inputPath, name)
+		}
+		median := base.Cells[name].OpsPerSec.Median
+		short, _, _ := strings.Cut(name, " ")
+		checks = append(checks, check{
+			name:    fmt.Sprintf("rsm %s ops/sec", short),
+			current: run.OpsPerSec,
+			base:    median,
+			limit:   median * (1 - tol),
+			lower:   true,
+		})
+	}
+	return checks, nil
+}
+
+// parseCellKey extracts B and K from a "batch=B,k=K (label)" cell name.
+func parseCellKey(name string) (batch, k int, err error) {
+	key, _, _ := strings.Cut(name, " ")
+	for _, part := range strings.Split(key, ",") {
+		field, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("cell key %q: bad field %q", name, part)
+		}
+		n, convErr := strconv.Atoi(val)
+		if convErr != nil {
+			return 0, 0, fmt.Errorf("cell key %q: bad value in %q", name, part)
+		}
+		switch field {
+		case "batch":
+			batch = n
+		case "k":
+			k = n
+		default:
+			return 0, 0, fmt.Errorf("cell key %q: unknown field %q", name, field)
+		}
+	}
+	if batch == 0 || k == 0 {
+		return 0, 0, fmt.Errorf("cell key %q: missing batch= or k=", name)
+	}
+	return batch, k, nil
+}

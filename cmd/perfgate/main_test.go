@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchBaselineJSON = `{
+  "benchmarks": {
+    "after": {
+      "SingleRunModifiedPaxos": {
+        "ns_op":     {"median": 100000},
+        "bytes_op":  {"median": 50000},
+        "allocs_op": {"median": 350}
+      }
+    }
+  }
+}`
+
+func TestGateBenchPassAndFail(t *testing.T) {
+	baseline := writeFile(t, "bench.json", benchBaselineJSON)
+
+	// Within tolerance: slower wall clock (under the 4x band), tight
+	// bytes/allocs. The -8 suffix and the custom latency metric column both
+	// appear in real output and must not confuse the parser.
+	pass := writeFile(t, "pass.txt",
+		"BenchmarkSingleRunModifiedPaxos-8 \t 100 \t 250000 ns/op \t 2.6 latency_δ \t 50200 B/op \t 350 allocs/op\nok \trepro\t1.0s\n")
+	checks, err := gateBench(baseline, pass, "SingleRunModifiedPaxos", 4.0, 0.10, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 3 {
+		t.Fatalf("got %d checks, want 3", len(checks))
+	}
+	for _, c := range checks {
+		if !c.pass() {
+			t.Errorf("%s: current=%v limit=%v unexpectedly failed", c.name, c.current, c.limit)
+		}
+	}
+
+	// A new allocation on the hot path must trip the allocs gate even when
+	// timing looks fine.
+	fail := writeFile(t, "fail.txt",
+		"BenchmarkSingleRunModifiedPaxos \t 100 \t 110000 ns/op \t 51000 B/op \t 400 allocs/op\n")
+	checks, err = gateBench(baseline, fail, "SingleRunModifiedPaxos", 4.0, 0.10, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, c := range checks {
+		if !c.pass() {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Errorf("got %d failing checks, want exactly the allocs gate", failed)
+	}
+}
+
+func TestGateBenchMissingBenchmem(t *testing.T) {
+	baseline := writeFile(t, "bench.json", benchBaselineJSON)
+	input := writeFile(t, "nomem.txt",
+		"BenchmarkSingleRunModifiedPaxos \t 100 \t 110000 ns/op\n")
+	if _, err := gateBench(baseline, input, "SingleRunModifiedPaxos", 4.0, 0.10, 0.02); err == nil {
+		t.Fatal("want error for output without -benchmem columns")
+	}
+}
+
+const rsmBaselineJSON = `{
+  "cells": {
+    "batch=1,k=1 (single-slot baseline)": {"ops_per_sec": {"median": 460.0}},
+    "batch=8,k=4 (batching + pipelining)": {"ops_per_sec": {"median": 6000.0}}
+  }
+}`
+
+func TestGateRSM(t *testing.T) {
+	baseline := writeFile(t, "rsm.json", rsmBaselineJSON)
+
+	input := writeFile(t, "runs.json", `[
+  {"max_batch": 1, "max_in_flight": 1, "completed": true, "ops_per_sec": 455.0},
+  {"max_batch": 8, "max_in_flight": 4, "completed": true, "ops_per_sec": 5000.0}
+]`)
+	checks, err := gateRSM(baseline, input, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 2 {
+		t.Fatalf("got %d checks, want 2", len(checks))
+	}
+	var pass, fail int
+	for _, c := range checks {
+		if c.pass() {
+			pass++
+		} else {
+			fail++
+		}
+	}
+	// 455 >= 460*0.95 passes; 5000 < 6000*0.95 regresses.
+	if pass != 1 || fail != 1 {
+		t.Errorf("got pass=%d fail=%d, want 1 and 1", pass, fail)
+	}
+
+	// A baseline cell with no matching run must be an error, not a pass.
+	narrowed := writeFile(t, "narrow.json", `[
+  {"max_batch": 1, "max_in_flight": 1, "completed": true, "ops_per_sec": 455.0}
+]`)
+	if _, err := gateRSM(baseline, narrowed, 0.05); err == nil {
+		t.Fatal("want error when a baseline cell has no matching run")
+	}
+}
+
+func TestParseCellKey(t *testing.T) {
+	b, k, err := parseCellKey("batch=8,k=4 (batching + pipelining)")
+	if err != nil || b != 8 || k != 4 {
+		t.Fatalf("got %d,%d,%v", b, k, err)
+	}
+	if _, _, err := parseCellKey("rho=3 (weird)"); err == nil {
+		t.Fatal("want error for unknown field")
+	}
+}

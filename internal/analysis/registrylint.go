@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Registrylint cross-checks each protocol package's message plumbing
+// against its registry descriptor:
+//
+//   - every message type the package's handlers switch on must appear in a
+//     Descriptor.Messages list of the package. A missing entry is silent
+//     rot: the live TCP transport never gob-registers the type (the first
+//     wire message of that type kills the connection), and the harness
+//     never pre-interns its trace counter (per-message accounting falls
+//     back to first-use interning).
+//   - a protocol package registers exactly one visible descriptor; ablation
+//     and diagnostic variants must be Hidden so they never silently join
+//     default protocol comparisons.
+//   - every package under internal/core/ that handles consensus messages
+//     must publish a descriptor at all.
+//   - a descriptor with a constructor but no Messages list is flagged: it
+//     would register a protocol whose every message misses the above.
+var Registrylint = &Analyzer{
+	Name: "registrylint",
+	Doc:  "Descriptor.Messages completeness and one-visible-descriptor-per-package invariants",
+	Run:  runRegistrylint,
+}
+
+// descriptorInfo is one protocol.Descriptor composite literal found in the
+// package.
+type descriptorInfo struct {
+	lit      *ast.CompositeLit
+	name     string // Name field when it is a string literal
+	hidden   bool
+	hasNew   bool
+	messages []types.Type // element types of the Messages list
+	hasMsgs  bool
+}
+
+func runRegistrylint(p *Pass) {
+	descs := collectDescriptors(p)
+	switches := collectMessageSwitches(p)
+
+	corePkg := strings.HasPrefix(trimFixture(p.Pkg.Path), "repro/internal/core/") &&
+		trimFixture(p.Pkg.Path) != "repro/internal/core/consensus"
+	if len(descs) == 0 {
+		if corePkg && len(switches) > 0 {
+			p.Reportf(p.Pkg.Files[0].Name.Pos(),
+				"package handles consensus messages but publishes no protocol.Descriptor; register one (see internal/protocol) so the protocol is reachable by name")
+		}
+		return
+	}
+
+	// Exactly one visible descriptor per package.
+	visible := 0
+	for _, d := range descs {
+		if !d.hidden {
+			visible++
+		}
+	}
+	if visible > 1 {
+		for _, d := range descs {
+			if !d.hidden {
+				p.Reportf(d.lit.Pos(), "package declares %d non-Hidden descriptors; a protocol package registers exactly one visible name (mark ablation variants Hidden: true)", visible)
+			}
+		}
+	}
+
+	// A constructor without a message list silently degrades every type.
+	for _, d := range descs {
+		if d.hasNew && !d.hasMsgs {
+			p.Reportf(d.lit.Pos(), "descriptor %s has a constructor but no Messages list; live-backend gob registration and trace-counter pre-interning will miss every message type", descName(d))
+		}
+	}
+
+	// Union of message types across the package's descriptors.
+	listed := make(map[string]bool)
+	for _, d := range descs {
+		for _, t := range d.messages {
+			listed[t.String()] = true
+		}
+	}
+	for _, sw := range switches {
+		seen := make(map[string]bool)
+		for _, c := range sw.cases {
+			key := c.t.String()
+			if seen[key] || listed[key] {
+				continue
+			}
+			seen[key] = true
+			p.Reportf(c.pos, "handler switches on %s but no Descriptor.Messages entry lists it; the live backend cannot gob-decode it and its trace counter is never pre-interned", typeDisplay(c.t))
+		}
+	}
+}
+
+func descName(d descriptorInfo) string {
+	if d.name != "" {
+		return "\"" + d.name + "\""
+	}
+	return "literal"
+}
+
+// typeDisplay renders pkgname.Type for diagnostics.
+func typeDisplay(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		return "*" + typeDisplay(ptr.Elem())
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	}
+	return t.String()
+}
+
+// isDescriptorType matches internal/protocol.Descriptor (or a fixture
+// stand-in under a .../protostub path).
+func isDescriptorType(t types.Type) bool {
+	return namedType(t, "repro/internal/protocol", "Descriptor") ||
+		namedTypeSuffix(t, "/protostub", "Descriptor")
+}
+
+// isMessageInterface matches the consensus.Message interface (or a fixture
+// stand-in).
+func isMessageInterface(t types.Type) bool {
+	return namedType(t, "repro/internal/core/consensus", "Message") ||
+		namedTypeSuffix(t, "/protostub", "Message")
+}
+
+// collectDescriptors finds every protocol.Descriptor composite literal.
+func collectDescriptors(p *Pass) []descriptorInfo {
+	var out []descriptorInfo
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isDescriptorType(p.TypeOf(lit)) {
+				return true
+			}
+			d := descriptorInfo{lit: lit}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "Name":
+					if bl, ok := ast.Unparen(kv.Value).(*ast.BasicLit); ok {
+						d.name = strings.Trim(bl.Value, "\"`")
+					}
+				case "Hidden":
+					if id, ok := ast.Unparen(kv.Value).(*ast.Ident); ok && id.Name == "true" {
+						d.hidden = true
+					}
+				case "New":
+					d.hasNew = true
+				case "Messages":
+					d.hasMsgs = true
+					d.messages = messageListTypes(p, kv.Value)
+				}
+			}
+			out = append(out, d)
+			return true
+		})
+	}
+	return out
+}
+
+// messageListTypes resolves a Messages field value — a composite literal,
+// or a call to a package-local function returning one — to the element
+// types.
+func messageListTypes(p *Pass, v ast.Expr) []types.Type {
+	v = ast.Unparen(v)
+	if call, ok := v.(*ast.CallExpr); ok {
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return nil
+		}
+		// Find the local declaration and use its last return expression.
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || p.Pkg.Info.Defs[fd.Name] != fn || fd.Body == nil {
+					continue
+				}
+				var lit ast.Expr
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+						lit = ret.Results[0]
+					}
+					return true
+				})
+				if lit != nil {
+					return messageListTypes(p, lit)
+				}
+			}
+		}
+		return nil
+	}
+	lit, ok := v.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	var out []types.Type
+	for _, el := range lit.Elts {
+		if t := p.TypeOf(el); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// msgCase is one `case SomeMsg:` of a message type switch.
+type msgCase struct {
+	t   types.Type
+	pos token.Pos
+}
+
+// msgSwitch is one type switch over a consensus.Message value.
+type msgSwitch struct {
+	cases []msgCase
+}
+
+// collectMessageSwitches finds every type switch whose subject is a
+// consensus.Message and returns the concrete case types.
+func collectMessageSwitches(p *Pass) []msgSwitch {
+	var out []msgSwitch
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			var assert *ast.TypeAssertExpr
+			switch a := ts.Assign.(type) {
+			case *ast.AssignStmt:
+				if len(a.Rhs) == 1 {
+					assert, _ = ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr)
+				}
+			case *ast.ExprStmt:
+				assert, _ = ast.Unparen(a.X).(*ast.TypeAssertExpr)
+			}
+			if assert == nil || !isMessageInterface(p.TypeOf(assert.X)) {
+				return true
+			}
+			var sw msgSwitch
+			for _, c := range ts.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, texpr := range cc.List {
+					t := p.TypeOf(texpr)
+					if t == nil || isInterface(t) {
+						continue // `case nil:`, interface cases
+					}
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+						continue
+					}
+					sw.cases = append(sw.cases, msgCase{t: t, pos: texpr.Pos()})
+				}
+			}
+			if len(sw.cases) > 0 {
+				out = append(out, sw)
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package det is the detlint fixture. The test loads it under a pretend
+// import path inside repro/internal/sim so the analyzer treats it as
+// determinism-sensitive. Each // want comment pins one diagnostic.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type state struct {
+	best    string
+	applied map[string]int
+}
+
+type env struct{}
+
+func (env) Send(to int, m any)    {}
+func (env) Deliver(to int, m any) {}
+
+func wallClock() time.Duration {
+	t := time.Now()         // want `time.Now reads the wall clock`
+	time.Sleep(time.Second) // want `time.Sleep reads the wall clock`
+	return time.Since(t)    // want `time.Since reads the wall clock`
+}
+
+func durationArithmeticIsFine(d time.Duration) time.Duration {
+	return d * 3 / 2
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global rand.Intn draws from the process-wide source`
+}
+
+func seededRandIsFine(rng *rand.Rand) int {
+	_ = rand.New(rand.NewSource(1))
+	return rng.Intn(6)
+}
+
+func sendPerKey(e env, peers map[int]string) {
+	for to := range peers {
+		e.Send(to, "hello") // want `calls Send per key`
+	}
+}
+
+func assignOuter(s *state, estimates map[int]string) {
+	for _, est := range estimates {
+		if est > s.best {
+			s.best = est // want `writes s.best \(state outside the loop\)`
+		}
+	}
+}
+
+func assignOuterLocal(votes map[int]int) int {
+	winner := -1
+	for _, v := range votes {
+		winner = v // want `assigns "winner" \(declared outside the loop\)`
+	}
+	return winner
+}
+
+func returnPerKey(m map[int]string) string {
+	for _, v := range m {
+		return v // want `returns a value chosen by the iteration`
+	}
+	return ""
+}
+
+func countingIsFine(votes map[int]string) map[string]int {
+	counts := make(map[string]int)
+	total := 0
+	for _, v := range votes {
+		counts[v]++
+		total += 1
+	}
+	_ = total
+	return counts
+}
+
+func sortedKeysAreFine(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to "keys" \(declared outside the loop, not sorted afterwards\)`
+	}
+	return keys
+}
+
+func foundFlagIsFine(m map[string]int, needle string) bool {
+	found := false
+	for k := range m {
+		if k == needle {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+func breakWhileAccumulating(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+		if total > 100 {
+			break // want `breaks out of an accumulating iteration`
+		}
+	}
+	return total
+}
+
+func suppressed() time.Time {
+	//repro:allow detlint fixture exercises the suppression path
+	return time.Now()
+}
+
+func suppressedTrailing() time.Time {
+	return time.Now() //repro:allow detlint fixture exercises trailing suppression
+}

@@ -1,0 +1,26 @@
+// Package dir is the fixture for malformed //repro: directives; the test
+// pins the expected "directive" pseudo-analyzer diagnostics by line.
+package dir
+
+//repro:allow detlint
+
+func missingReason() {}
+
+//repro:allow fmtlint the analyzer does not exist
+
+func unknownAnalyzer() {}
+
+//repro:hotpath
+var notAFunction int
+
+//repro:frobnicate
+
+func unknownDirective() {}
+
+// wellFormed carries valid directives; no diagnostics.
+//
+//repro:hotpath
+func wellFormed() {
+	//repro:allow detlint fixture reason
+	_ = notAFunction
+}

@@ -1,0 +1,17 @@
+// Package protostub is a fixture stand-in for internal/protocol and the
+// consensus Message interface, so registrylint fixtures type-check in
+// isolation. registrylint matches both types by the "/protostub" path
+// suffix.
+package protostub
+
+// Message mirrors consensus.Message.
+type Message any
+
+// Descriptor mirrors the registry fields registrylint inspects.
+type Descriptor struct {
+	Name     string
+	Doc      string
+	New      func() any
+	Messages []Message
+	Hidden   bool
+}

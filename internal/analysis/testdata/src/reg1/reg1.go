@@ -1,0 +1,26 @@
+// Package reg1 is the registrylint fixture for Messages completeness: the
+// handler switches on one type the descriptor does not list.
+package reg1
+
+import "repro/internal/analysis/testdata/src/protostub"
+
+type Ping struct{}
+type Pong struct{}
+type Stray struct{}
+
+func Descriptor() protostub.Descriptor {
+	return protostub.Descriptor{
+		Name:     "reg1",
+		New:      func() any { return nil },
+		Messages: []protostub.Message{Ping{}, Pong{}},
+	}
+}
+
+func handle(m protostub.Message) {
+	switch m.(type) {
+	case nil:
+	case Ping:
+	case Pong:
+	case Stray: // want `handler switches on reg1.Stray but no Descriptor.Messages entry lists it`
+	}
+}

@@ -1,0 +1,12 @@
+// Package reg2 is the registrylint fixture for the one-visible-descriptor
+// rule: two non-Hidden descriptors, plus a Hidden ablation variant that is
+// allowed.
+package reg2
+
+import "repro/internal/analysis/testdata/src/protostub"
+
+var A = protostub.Descriptor{Name: "a"} // want `declares 2 non-Hidden descriptors`
+
+var B = protostub.Descriptor{Name: "b"} // want `declares 2 non-Hidden descriptors`
+
+var Ablation = protostub.Descriptor{Name: "a-ablation", Hidden: true}

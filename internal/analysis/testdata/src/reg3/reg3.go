@@ -1,0 +1,14 @@
+// Package reg3 is the registrylint fixture for a core protocol package that
+// handles consensus messages but never publishes a descriptor. The test
+// mounts it under a pretend repro/internal/core/... path.
+package reg3 // want `package handles consensus messages but publishes no protocol.Descriptor`
+
+import "repro/internal/analysis/testdata/src/protostub"
+
+type Req struct{}
+
+func handle(m protostub.Message) {
+	switch m.(type) {
+	case Req:
+	}
+}

@@ -1,0 +1,10 @@
+// Package reg4 is the registrylint fixture for a descriptor with a
+// constructor but no Messages list.
+package reg4
+
+import "repro/internal/analysis/testdata/src/protostub"
+
+var D = protostub.Descriptor{ // want `descriptor "d" has a constructor but no Messages list`
+	Name: "d",
+	New:  func() any { return nil },
+}

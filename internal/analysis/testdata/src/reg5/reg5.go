@@ -1,0 +1,26 @@
+// Package reg5 is the registrylint fixture for the messages-as-function
+// idiom (Descriptor.Messages populated by a package-local call, as the
+// ablation descriptors do): coverage is complete, so the run is clean.
+package reg5
+
+import "repro/internal/analysis/testdata/src/protostub"
+
+type Ping struct{}
+
+func messages() []protostub.Message {
+	return []protostub.Message{Ping{}}
+}
+
+func Descriptor() protostub.Descriptor {
+	return protostub.Descriptor{
+		Name:     "reg5",
+		New:      func() any { return nil },
+		Messages: messages(),
+	}
+}
+
+func handle(m protostub.Message) {
+	switch m.(type) {
+	case Ping:
+	}
+}

@@ -308,6 +308,9 @@ func (p *Process) maybeCloseFirst() {
 	p.hasMaj = false
 	for v, c := range counts {
 		if c >= p.majority() {
+			// At most one value can reach a majority count, so the winner
+			// is unique whatever order the counts are visited in.
+			//repro:allow detlint at most one value can hold a majority
 			p.maj = v
 			p.hasMaj = true
 		}
@@ -336,6 +339,10 @@ func (p *Process) maybeCloseSecond() {
 	for _, sv := range votes {
 		if sv.hasV {
 			nonBot++
+			// Ben-Or lemma: every non-⊥ SECOND vote of a round carries the
+			// same value (it derives from a majority of FIRST votes), so
+			// whichever vote is seen last yields the same v.
+			//repro:allow detlint all non-bottom second votes carry one value
 			v = sv.v
 		}
 	}

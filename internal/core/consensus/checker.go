@@ -61,7 +61,9 @@ func (c *SafetyChecker) RecordDecision(d Decision) error {
 		}
 		return nil // idempotent re-decision (e.g. after restart)
 	}
-	for _, other := range c.decisions {
+	// Scan the arrival-ordered slice, not the map, so the witness named in
+	// a violation is deterministic (the earliest conflicting decision).
+	for _, other := range c.order {
 		if other.Value != d.Value {
 			return c.violate("agreement: process %d decided %q but process %d decided %q",
 				other.Proc, other.Value, d.Proc, d.Value)

@@ -370,6 +370,10 @@ func (p *Process) onP1b(from consensus.ProcessID, m P1b) {
 	best := consensus.NoBallot
 	for _, b1 := range p.p1bs {
 		if b1.ABal > best {
+			// Acceptors reporting the same ABal accepted the same value
+			// (one value per ballot), so ties resolve identically in any
+			// visiting order and the strict argmax is order-free.
+			//repro:allow detlint equal ballots carry equal values
 			best = b1.ABal
 			val = b1.AVal
 		}

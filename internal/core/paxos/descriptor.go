@@ -2,6 +2,7 @@ package paxos
 
 import (
 	"repro/internal/core/consensus"
+	"repro/internal/leader"
 	"repro/internal/protocol"
 	"repro/internal/simnet"
 )
@@ -23,7 +24,7 @@ func Descriptor() protocol.Descriptor {
 			}
 		},
 		Messages: []consensus.Message{
-			P1a{}, P1b{}, P2a{}, P2b{}, Reject{}, Decided{},
+			P1a{}, P1b{}, P2a{}, P2b{}, Reject{}, Decided{}, leader.Announce{},
 		},
 		// The baseline assumes a leader oracle ("a leader is eventually
 		// elected"); the harness installs the simulated one, and the live

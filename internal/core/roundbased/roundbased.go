@@ -282,6 +282,9 @@ func (p *Process) onEstimate(from consensus.ProcessID, m Estimate) {
 	bestFrom := consensus.ProcessID(-1)
 	for from, e := range p.estimates {
 		if e.TSRound > best.TSRound || (e.TSRound == best.TSRound && from < bestFrom) {
+			// The (tsRound, lowest sender) tie-break above totally orders
+			// the candidates, so the argmax is the same in any visit order.
+			//repro:allow detlint tie-break totally orders candidates
 			best, bestFrom = e, from
 		}
 	}

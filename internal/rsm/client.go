@@ -126,9 +126,13 @@ func (c *Client) Propose(cmd consensus.Value) (int64, error) {
 		c.transport.Send(c.id, leader, ClientPropose{Client: int64(c.id), Seq: seq, Cmd: cmd})
 	}
 	send()
-	deadline := time.NewTimer(c.timeout)
+	// The client only exists on the live side (it blocks a real goroutine
+	// on a live.Transport inbox); simulated runs drive replicas through
+	// injected ClientPropose events instead, so these timers never tick
+	// under the deterministic engine.
+	deadline := time.NewTimer(c.timeout) //repro:allow detlint live-only client, wall-clock timeouts by design
 	defer deadline.Stop()
-	retry := time.NewTimer(c.retryEvery)
+	retry := time.NewTimer(c.retryEvery) //repro:allow detlint live-only client, wall-clock timeouts by design
 	defer retry.Stop()
 	backoff := c.retryEvery
 	for {
@@ -177,9 +181,11 @@ func (c *Client) Get(replica consensus.ProcessID, key string, minApplied int64) 
 	c.reqID++
 	req := Query{Key: key, MinApplied: minApplied, ReqID: c.reqID}
 	c.transport.Send(c.id, replica, req)
-	deadline := time.NewTimer(c.timeout)
+	// Live-only, as in Propose: wall-clock timeouts are the intended
+	// behavior for a real client goroutine.
+	deadline := time.NewTimer(c.timeout) //repro:allow detlint live-only client, wall-clock timeouts by design
 	defer deadline.Stop()
-	retry := time.NewTimer(c.retryEvery)
+	retry := time.NewTimer(c.retryEvery) //repro:allow detlint live-only client, wall-clock timeouts by design
 	defer retry.Stop()
 	backoff := c.retryEvery
 	for {

@@ -326,3 +326,62 @@ func TestSimFollowerCatchUpAfterRetirement(t *testing.T) {
 	}
 	assertSameLog(t, logs)
 }
+
+// TestSimEvictedSessionsStillDedup squeezes the in-memory session table down
+// to 2 entries while 6 clients commit ops, then replays stale duplicates for
+// the earliest clients — whose sessions have long been evicted to the stable
+// store. The spilled records must still dedup: every duplicate is acked from
+// its original slot and never re-applied.
+func TestSimEvictedSessionsStillDedup(t *testing.T) {
+	const n = 3
+	const nclients = 6
+	delta := 10 * time.Millisecond
+	eng, nw, logs := faultGroup(t, 31, simnet.Config{
+		N: n, Delta: delta, TS: 400 * time.Millisecond,
+	}, Config{MaxSessions: 2})
+	nw.Start()
+
+	// Six clients, one op each, spaced out so they land in distinct slots
+	// and the eviction order (oldest applied slot first) is well defined.
+	for c := 0; c < nclients; c++ {
+		msg := ClientPropose{Client: int64(200 + c), Seq: 1, Cmd: consensus.Value("op")}
+		nw.Inject(time.Duration(c+1)*4*delta, 1, Leader(), msg)
+	}
+	// Stale duplicates for the first four clients — all evicted by the time
+	// these arrive (only 2 sessions stay in memory).
+	for c := 0; c < 4; c++ {
+		msg := ClientPropose{Client: int64(200 + c), Seq: 1, Cmd: consensus.Value("op")}
+		nw.Inject(time.Duration(nclients+2)*4*delta+time.Duration(c)*delta, 1, Leader(), msg)
+	}
+
+	done := eng.RunUntil(func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) < nclients {
+				return false
+			}
+		}
+		return true
+	}, 60*time.Second)
+	if !done {
+		t.Fatalf("log did not apply everywhere: %d/%d/%d entries",
+			len(logs[0].snapshot()), len(logs[1].snapshot()), len(logs[2].snapshot()))
+	}
+	// Let the duplicates drain, then verify nothing re-applied anywhere.
+	eng.Run(eng.Now() + 50*delta)
+
+	for id, l := range logs {
+		entries := l.snapshot()
+		assertExactlyOnce(t, id, entries)
+		for c := 0; c < nclients; c++ {
+			countSession(t, id, entries, int64(200+c), 1)
+		}
+	}
+	assertSameLog(t, logs)
+
+	// The leader's in-memory table really is bounded: at most MaxSessions
+	// entries survive in memory, the rest answer from the stable store.
+	leader := nw.Node(Leader()).Process().(*Replica)
+	if got := len(leader.sessions); got > 2 {
+		t.Fatalf("leader holds %d sessions in memory, MaxSessions is 2", got)
+	}
+}

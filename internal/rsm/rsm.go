@@ -197,6 +197,11 @@ type Config struct {
 	// MaxQueue bounds the leader's proposal queue; overflow is rejected
 	// with Busy (default 1024).
 	MaxQueue int
+	// MaxSessions bounds the in-memory session-dedup table. When more
+	// clients than this have applied commands, the sessions with the
+	// oldest applied slots spill to the stable store, where lookups still
+	// find them — exactly-once semantics survive eviction (default 4096).
+	MaxSessions int
 	// NewApplier, when set, supplies the state machine per replica instead
 	// of the built-in KVStore (queries then read an empty store).
 	NewApplier func(id consensus.ProcessID) Applier
@@ -215,6 +220,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 1024
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
 	}
 	c.Paxos.Prepared = true
 	return c
@@ -261,6 +269,58 @@ func (q *queuedCmd) addWaiter(p consensus.ProcessID) {
 type session struct {
 	Seq  uint64
 	Slot int64
+}
+
+// sessKeyPrefix namespaces spilled session records in the stable store.
+const sessKeyPrefix = "rsm-sess-"
+
+func sessKey(client int64) string {
+	return sessKeyPrefix + strconv.FormatInt(client, 10)
+}
+
+// lookupSession returns the client's dedup record: the bounded in-memory
+// table first, then records spilled to the stable store by eviction.
+func (r *Replica) lookupSession(client int64) (session, bool) {
+	if s, ok := r.sessions[client]; ok {
+		return s, true
+	}
+	var s session
+	if ok, err := r.env.Store().Get(sessKey(client), &s); err == nil && ok {
+		return s, true
+	}
+	return session{}, false
+}
+
+// recordSession updates a client's dedup record after its command applied,
+// evicting the oldest records once the in-memory table exceeds MaxSessions.
+func (r *Replica) recordSession(client int64, s session) {
+	r.sessions[client] = s
+	for len(r.sessions) > r.cfg.MaxSessions {
+		r.evictOldestSession()
+	}
+}
+
+// evictOldestSession spills the session whose last applied slot is oldest
+// to the stable store and drops it from memory. A spilled client's next
+// duplicate costs one store read instead of a map hit; its exactly-once
+// guarantee is unchanged.
+func (r *Replica) evictOldestSession() {
+	victim, vs, found := int64(0), session{}, false
+	for c, s := range r.sessions {
+		if !found || s.Slot < vs.Slot || (s.Slot == vs.Slot && c < victim) {
+			// The (slot, client) comparison totally orders the entries, so
+			// the argmin is unique whatever order the map yields.
+			//repro:allow detlint total slot-client order makes the argmin unique
+			victim, vs, found = c, s, true
+		}
+	}
+	if !found {
+		return
+	}
+	if err := r.env.Store().Put(sessKey(victim), vs); err != nil {
+		r.env.Logf("rsm: spill session %d: %v", victim, err)
+	}
+	delete(r.sessions, victim)
 }
 
 // parkedQuery is a read waiting for the log to reach its watermark.
@@ -381,6 +441,15 @@ func (r *Replica) Init(env consensus.Environment) {
 		env.Logf("rsm: restore: %v", err)
 	}
 	for _, k := range keys {
+		// Spilled session records cache state the log replay below rebuilds;
+		// a stale record would make replay skip re-applying its client's
+		// commands to the fresh state machine, so clear them first.
+		if strings.HasPrefix(k, sessKeyPrefix) {
+			if err := env.Store().Delete(k); err != nil {
+				env.Logf("rsm: restore: drop %s: %v", k, err)
+			}
+			continue
+		}
 		if !strings.HasPrefix(k, slotKeyPrefix) {
 			continue
 		}
@@ -462,7 +531,7 @@ func (r *Replica) onPropose(from consensus.ProcessID, msg ClientPropose) {
 	if msg.Seq != 0 {
 		// Dedup: already applied → ack immediately; already queued or in
 		// flight → coalesce onto the original.
-		if s, ok := r.sessions[msg.Client]; ok && msg.Seq <= s.Seq {
+		if s, ok := r.lookupSession(msg.Client); ok && msg.Seq <= s.Seq {
 			slot := int64(-1)
 			if msg.Seq == s.Seq {
 				slot = s.Slot
@@ -714,8 +783,10 @@ func (r *Replica) applyReady() {
 		progressed = true
 		if v != NoOp {
 			for i, cmd := range DecodeBatch(v) {
-				if cmd.Seq != 0 && r.sessions[cmd.Client].Seq >= cmd.Seq {
-					continue // duplicate of an applied op
+				if cmd.Seq != 0 {
+					if s, ok := r.lookupSession(cmd.Client); ok && s.Seq >= cmd.Seq {
+						continue // duplicate of an applied op
+					}
 				}
 				r.mu.Lock()
 				if ea, ok := r.applier.(EntryApplier); ok {
@@ -725,7 +796,7 @@ func (r *Replica) applyReady() {
 				}
 				r.mu.Unlock()
 				if cmd.Seq != 0 {
-					r.sessions[cmd.Client] = session{Seq: cmd.Seq, Slot: slot}
+					r.recordSession(cmd.Client, session{Seq: cmd.Seq, Slot: slot})
 				}
 			}
 		}

@@ -198,13 +198,17 @@ func (b liveBackend) Run(cfg harness.Config) (harness.Result, error) {
 			t.Stop()
 		}
 	}()
-	started := time.Now()
+	// The live backend runs real goroutines against the host clock by
+	// design; wall-clock reads here are the point, not a determinism leak.
+	started := time.Now() //repro:allow detlint live backend measures wall time by design
 	cluster.Start()
 	for _, r := range cfg.Restarts {
 		r := r
+		//repro:allow detlint live faults fire on the wall clock by design
 		faultTimers = append(faultTimers, time.AfterFunc(r.CrashAt,
 			guarded(func() { cluster.Crash(r.Proc) })))
 		if r.RestartAt > 0 {
+			//repro:allow detlint live faults fire on the wall clock by design
 			faultTimers = append(faultTimers, time.AfterFunc(r.RestartAt,
 				guarded(func() { cluster.Restart(r.Proc) })))
 		}
@@ -216,6 +220,6 @@ func (b liveBackend) Run(cfg harness.Config) (harness.Result, error) {
 	faultMu.Unlock()
 	// Run-level phase spans mirror the harness's post-run recording, with
 	// wall time standing in for virtual time.
-	collector.RecordRunPhases(cfg.TS, time.Since(started))
+	collector.RecordRunPhases(cfg.TS, time.Since(started)) //repro:allow detlint live backend measures wall time by design
 	return harness.BuildResult(cfg, collector, cluster.Checker(), expected, decided), nil
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/core/consensus"
@@ -146,8 +147,15 @@ func (c RecoveryBound) Check(r RunResult) error {
 		return nil
 	}
 	limit := time.Duration(c.MaxDeltas * float64(r.Cfg.Delta))
-	for proc, rec := range r.Res.RestartRecovery {
-		if rec > limit {
+	// Walk processes in ID order so the violation names the same process on
+	// every run, not whichever key map iteration surfaces first.
+	procs := make([]consensus.ProcessID, 0, len(r.Res.RestartRecovery))
+	for proc := range r.Res.RestartRecovery {
+		procs = append(procs, proc)
+	}
+	slices.Sort(procs)
+	for _, proc := range procs {
+		if rec := r.Res.RestartRecovery[proc]; rec > limit {
 			return fmt.Errorf("process %d took %v to recover after restart, limit %v", proc, rec, limit)
 		}
 	}

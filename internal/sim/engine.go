@@ -151,6 +151,8 @@ func (ev Event) At() time.Duration {
 
 // alloc takes a slot from the free list, growing storage only when every
 // slot is scheduled (amortized; the steady state never grows).
+//
+//repro:hotpath
 func (e *Engine) alloc() int32 {
 	if e.free >= 0 {
 		si := e.free
@@ -164,6 +166,8 @@ func (e *Engine) alloc() int32 {
 // release returns a slot to the free list, bumping its generation so stale
 // handles can never touch the next occupant, and dropping references so the
 // slot does not pin callbacks or payloads for the GC.
+//
+//repro:hotpath
 func (e *Engine) release(si int32) {
 	s := &e.slots[si]
 	s.gen++
@@ -177,6 +181,8 @@ func (e *Engine) release(si int32) {
 // schedule places a freshly-populated slot into the queue and returns its
 // handle. The caller must have set every payload field; schedule assigns
 // the (at, seq) ordering key.
+//
+//repro:hotpath
 func (e *Engine) schedule(at time.Duration, si int32) Event {
 	if at < e.now {
 		// Scheduling in the past always indicates a bug in the model,
@@ -194,6 +200,8 @@ func (e *Engine) schedule(at time.Duration, si int32) Event {
 
 // Schedule runs fn at virtual time at. Scheduling in the past (before Now)
 // panics.
+//
+//repro:hotpath
 func (e *Engine) Schedule(at time.Duration, fn func()) Event {
 	si := e.alloc()
 	s := &e.slots[si]
@@ -203,6 +211,8 @@ func (e *Engine) Schedule(at time.Duration, fn func()) Event {
 }
 
 // After runs fn d from now. Negative d is treated as zero.
+//
+//repro:hotpath
 func (e *Engine) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
@@ -214,6 +224,8 @@ func (e *Engine) After(d time.Duration, fn func()) Event {
 // engine's delivery sink is invoked with (from, to, aux, payload). This is
 // the closure-free path for message traffic — the hot loop of every
 // simulation — and requires SetDeliverySink to have been called.
+//
+//repro:hotpath
 func (e *Engine) ScheduleDelivery(at time.Duration, from, to int32, aux int64, payload any) Event {
 	si := e.alloc()
 	s := &e.slots[si]
@@ -234,6 +246,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // The heap holds exactly the live events — Cancel removes eagerly and
 // execution pops before running the callback — so the head needs no
 // liveness check (the invariant the pooled queue makes structural).
+//
+//repro:hotpath
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
@@ -336,12 +350,16 @@ func (e *Engine) before(a, b *slot) bool {
 }
 
 // heapPush appends a slot and restores the heap property upward.
+//
+//repro:hotpath
 func (e *Engine) heapPush(si int32) {
 	e.heap = append(e.heap, si)
 	e.siftUp(int32(len(e.heap) - 1))
 }
 
 // popMin removes and returns the earliest slot.
+//
+//repro:hotpath
 func (e *Engine) popMin() int32 {
 	h := e.heap
 	si := h[0]
@@ -359,6 +377,8 @@ func (e *Engine) popMin() int32 {
 }
 
 // heapRemove removes the slot at heap position i (Cancel's path).
+//
+//repro:hotpath
 func (e *Engine) heapRemove(i int32) {
 	h := e.heap
 	n := int32(len(h)) - 1
@@ -378,6 +398,8 @@ func (e *Engine) heapRemove(i int32) {
 }
 
 // siftUp restores the heap property from position i toward the root.
+//
+//repro:hotpath
 func (e *Engine) siftUp(i int32) {
 	h := e.heap
 	si := h[i]
@@ -397,6 +419,8 @@ func (e *Engine) siftUp(i int32) {
 }
 
 // siftDown restores the heap property from position i toward the leaves.
+//
+//repro:hotpath
 func (e *Engine) siftDown(i int32) {
 	h := e.heap
 	n := int32(len(h))

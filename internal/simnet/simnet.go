@@ -256,6 +256,8 @@ func (nw *Network) AllIDs() []consensus.ProcessID {
 // path is allocation-free: the delivery is a pooled sink event carrying
 // (from, to, interned type ID, message) — no per-message closure — and the
 // counters are interned-ID increments, not locked map writes.
+//
+//repro:hotpath
 func (nw *Network) route(from, to consensus.ProcessID, m consensus.Message) {
 	typeID := nw.collector.Intern(m.Type())
 	nw.collector.SentID(typeID)
@@ -302,6 +304,8 @@ func (nw *Network) route(from, to consensus.ProcessID, m consensus.Message) {
 // observeDelivery records a delivery latency into the per-message-type
 // histogram, mapping the interned message-type ID to an interned histogram
 // ID so the steady state is two array reads and an increment.
+//
+//repro:hotpath
 func (nw *Network) observeDelivery(typeID int, delay time.Duration) {
 	for typeID >= len(nw.deliveryHist) {
 		nw.deliveryHist = append(nw.deliveryHist, 0)
@@ -316,6 +320,8 @@ func (nw *Network) observeDelivery(typeID int, delay time.Duration) {
 
 // observeQueueDepth samples the engine's pending-event count — the
 // simulator's analogue of transport queue depth.
+//
+//repro:hotpath
 func (nw *Network) observeQueueDepth() {
 	if nw.queueHist == 0 {
 		nw.queueHist = nw.collector.InternHist(trace.HistQueueDepth, trace.UnitCount) + 1
