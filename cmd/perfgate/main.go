@@ -21,6 +21,13 @@
 //	    in the input is itself a failure (so dropping a cell from the CI
 //	    workload cannot silently pass).
 //
+//	perfgate -mode broadcast -baseline BENCH_9.json -input bench.txt
+//	    like bench, but gates EVERY benchmarks.after entry in the
+//	    baseline (the batched/unicast broadcast pair and the dynamics
+//	    sweep point), with the same per-metric tolerances. A baseline
+//	    entry with no matching benchmark line in the input is a failure,
+//	    so narrowing the CI bench regex cannot silently drop a gate.
+//
 // Exit codes: 0 pass, 1 regression, 2 usage or parse error.
 package main
 
@@ -36,7 +43,7 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "", "bench | rsm")
+		mode      = flag.String("mode", "", "bench | rsm | broadcast")
 		baseline  = flag.String("baseline", "", "committed BENCH_*.json baseline")
 		input     = flag.String("input", "", "fresh measurement: go test -bench text (bench) or rsm-bench JSON (rsm)")
 		benchName = flag.String("bench-name", "SingleRunModifiedPaxos", "benchmark to gate in -mode bench")
@@ -58,8 +65,10 @@ func main() {
 		checks, err = gateBench(*baseline, *input, *benchName, *nsTol, *bytesTol, *allocsTol)
 	case "rsm":
 		checks, err = gateRSM(*baseline, *input, *rsmTol)
+	case "broadcast":
+		checks, err = gateBroadcast(*baseline, *input, *nsTol, *bytesTol, *allocsTol)
 	default:
-		fmt.Fprintf(os.Stderr, "perfgate: unknown -mode %q (want bench or rsm)\n", *mode)
+		fmt.Fprintf(os.Stderr, "perfgate: unknown -mode %q (want bench, rsm, or broadcast)\n", *mode)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -166,6 +175,40 @@ func gateBench(baselinePath, inputPath, name string, nsTol, bytesTol, allocsTol 
 			return nil, err
 		}
 		checks = append(checks, c)
+	}
+	return checks, nil
+}
+
+// gateBroadcast gates every benchmarks.after entry of the baseline against
+// the bench text, in sorted-name order. Unlike bench mode there is no
+// headline pick: the broadcast baseline's entries (batched and unicast
+// rounds, dynamics sweep point) are all load-bearing — the unicast row is
+// what the speedup claim is measured against, so it may not silently rot
+// either.
+func gateBroadcast(baselinePath, inputPath string, nsTol, bytesTol, allocsTol float64) ([]check, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	if len(base.Benchmarks.After) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks.after entries", baselinePath)
+	}
+	names := make([]string, 0, len(base.Benchmarks.After))
+	for name := range base.Benchmarks.After {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var checks []check
+	for _, name := range names {
+		cs, err := gateBench(baselinePath, inputPath, name, nsTol, bytesTol, allocsTol)
+		if err != nil {
+			return nil, err
+		}
+		checks = append(checks, cs...)
 	}
 	return checks, nil
 }

@@ -76,6 +76,71 @@ func TestGateBenchMissingBenchmem(t *testing.T) {
 	}
 }
 
+const broadcastBaselineJSON = `{
+  "benchmarks": {
+    "after": {
+      "BroadcastN1000/unicast": {
+        "ns_op":     {"median": 1200000000},
+        "bytes_op":  {"median": 438388496},
+        "allocs_op": {"median": 81}
+      },
+      "BroadcastN1000/batched": {
+        "ns_op":     {"median": 270000000},
+        "bytes_op":  {"median": 304},
+        "allocs_op": {"median": 6}
+      }
+    }
+  }
+}`
+
+func TestGateBroadcastGatesEveryEntry(t *testing.T) {
+	baseline := writeFile(t, "bench9.json", broadcastBaselineJSON)
+
+	// Sub-benchmark names keep their slash in the output; the -8 suffix is
+	// the GOMAXPROCS decoration the parser must strip.
+	pass := writeFile(t, "pass.txt",
+		"BenchmarkBroadcastN1000/unicast-8 \t 3 \t 1250000000 ns/op \t 438388496 B/op \t 81 allocs/op\n"+
+			"BenchmarkBroadcastN1000/batched-8 \t 3 \t 260000000 ns/op \t 304 B/op \t 6 allocs/op\n")
+	checks, err := gateBroadcast(baseline, pass, 4.0, 0.10, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 6 {
+		t.Fatalf("got %d checks, want 3 per baseline entry", len(checks))
+	}
+	for _, c := range checks {
+		if !c.pass() {
+			t.Errorf("%s: current=%v limit=%v unexpectedly failed", c.name, c.current, c.limit)
+		}
+	}
+
+	// One new allocation on the batched fan-out must trip its gate.
+	fail := writeFile(t, "fail.txt",
+		"BenchmarkBroadcastN1000/unicast-8 \t 3 \t 1250000000 ns/op \t 438388496 B/op \t 81 allocs/op\n"+
+			"BenchmarkBroadcastN1000/batched-8 \t 3 \t 260000000 ns/op \t 320 B/op \t 7 allocs/op\n")
+	checks, err = gateBroadcast(baseline, fail, 4.0, 0.10, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, c := range checks {
+		if !c.pass() {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Errorf("got %d failing checks, want exactly the batched allocs gate", failed)
+	}
+
+	// A baseline entry missing from the input is an error, not a silent
+	// pass: narrowing the CI bench regex may not drop a gate.
+	missing := writeFile(t, "missing.txt",
+		"BenchmarkBroadcastN1000/batched-8 \t 3 \t 260000000 ns/op \t 304 B/op \t 6 allocs/op\n")
+	if _, err := gateBroadcast(baseline, missing, 4.0, 0.10, 0.02); err == nil {
+		t.Fatal("want error when a baseline entry has no benchmark line")
+	}
+}
+
 const rsmBaselineJSON = `{
   "cells": {
     "batch=1,k=1 (single-slot baseline)": {"ops_per_sec": {"median": 460.0}},

@@ -1,0 +1,36 @@
+package majority
+
+import (
+	"repro/internal/core/consensus"
+	"repro/internal/protocol"
+)
+
+// Descriptor publishes the 3-majority dynamics to the protocol registry.
+// Hidden for the same reason as usd: probabilistic large-N guarantees, not
+// the paper's worst-case agreement bounds, so it resolves by name in the
+// population-dynamics scenarios but never joins default comparisons.
+func Descriptor() protocol.Descriptor {
+	return protocol.Descriptor{
+		Name:   "3majority",
+		Doc:    "3-majority dynamics (arXiv:2503.02426) — sample three, adopt the majority; plurality consensus in O(log n) rounds w.h.p.",
+		Hidden: true,
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return New(Config{Delta: p.Delta, Rho: p.Rho, Samples: 3})
+		},
+		Messages: []consensus.Message{Query{}, Reply{}, Decided{}},
+	}
+}
+
+// TwoChoicesDescriptor publishes the 2-choices variant: sample two, adopt
+// only on agreement. Hidden like the rest of the dynamics family.
+func TwoChoicesDescriptor() protocol.Descriptor {
+	return protocol.Descriptor{
+		Name:   "2choices",
+		Doc:    "2-choices dynamics (arXiv:2503.02426) — sample two, adopt on agreement; O(log n) rounds w.h.p. given initial bias",
+		Hidden: true,
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return New(Config{Delta: p.Delta, Rho: p.Rho, Samples: 2})
+		},
+		Messages: []consensus.Message{Query{}, Reply{}, Decided{}},
+	}
+}

@@ -1,0 +1,67 @@
+package majority_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/majority"
+	"repro/internal/harness"
+)
+
+const delta = 10 * time.Millisecond
+
+func run(t *testing.T, proto harness.Protocol, n, pool int, seed int64) harness.Result {
+	t.Helper()
+	res, err := harness.Run(harness.Config{
+		Protocol:    proto,
+		N:           n,
+		Delta:       delta,
+		Seed:        seed,
+		OpinionPool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("safety violation: %v", res.Violation)
+	}
+	return res
+}
+
+// Test3MajorityConverges runs the three-sample rule on a population with a
+// three-way opinion split.
+func Test3MajorityConverges(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		res := run(t, "3majority", 100, 3, seed)
+		if !res.Decided {
+			t.Fatalf("seed %d: population did not decide (last=%v)", seed, res.LastDecision)
+		}
+	}
+}
+
+// Test2ChoicesConverges runs the two-sample rule on a two-way split.
+func Test2ChoicesConverges(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		res := run(t, "2choices", 100, 2, seed)
+		if !res.Decided {
+			t.Fatalf("seed %d: population did not decide (last=%v)", seed, res.LastDecision)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []majority.Config{
+		{},                                   // missing Delta
+		{Delta: delta, Samples: 4},           // unsupported sample size
+		{Delta: delta, Rho: -0.1},            // Rho out of range
+		{Delta: delta, RoundInterval: delta}, // interval inside round trip
+	}
+	for i, cfg := range cases {
+		if _, err := majority.New(cfg); err == nil {
+			t.Errorf("case %d: config %+v unexpectedly accepted", i, cfg)
+		}
+	}
+	if _, err := majority.New(majority.Config{Delta: delta}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

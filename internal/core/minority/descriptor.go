@@ -1,0 +1,23 @@
+package minority
+
+import (
+	"repro/internal/core/consensus"
+	"repro/internal/protocol"
+)
+
+// Descriptor publishes minority dynamics to the protocol registry. Hidden
+// like the rest of the dynamics family — and doubly so here: the binary
+// contrarian rule converges only under lockstep rounds (the paper's
+// "power of synchronicity") and exists in the registry as the contrast
+// case the O(log n) scaling assertions are checked against.
+func Descriptor() protocol.Descriptor {
+	return protocol.Descriptor{
+		Name:   "minority",
+		Doc:    "minority dynamics (arXiv:2310.13558) — sample three, adopt the minority; converges only in lockstep rounds, the family's contrast case",
+		Hidden: true,
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return New(Config{Delta: p.Delta, Rho: p.Rho})
+		},
+		Messages: []consensus.Message{Query{}, Reply{}, Decided{}},
+	}
+}

@@ -1,0 +1,30 @@
+package minority
+
+import "repro/internal/core/consensus"
+
+// Query asks a uniformly sampled peer for its current opinion. Round lets
+// the sampler discard replies that straggle in after the round closed.
+type Query struct {
+	Round int64
+}
+
+// Type implements consensus.Message.
+func (Query) Type() string { return "min-query" }
+
+// Reply returns the responder's opinion for one sampling round.
+type Reply struct {
+	Round   int64
+	Opinion consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Reply) Type() string { return "min-reply" }
+
+// Decided announces a threshold decision so the rest of the population can
+// stop sampling. Receivers adopt without re-broadcasting.
+type Decided struct {
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Decided) Type() string { return "min-decided" }

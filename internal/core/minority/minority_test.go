@@ -1,0 +1,54 @@
+package minority_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/minority"
+	"repro/internal/harness"
+)
+
+const delta = 10 * time.Millisecond
+
+// TestConvergesSmallN exercises minority dynamics where poly(n) still fits
+// a test horizon. The contrarian rule erodes emerging majorities, so the
+// population is deliberately small and the virtual horizon generous; the
+// O(log n) scaling assertions elsewhere intentionally exclude this
+// protocol (it is the registry's contrast case).
+func TestConvergesSmallN(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		res, err := harness.Run(harness.Config{
+			Protocol:    "minority",
+			N:           21,
+			Delta:       delta,
+			Seed:        seed,
+			OpinionPool: 2,
+			Horizon:     10 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("seed %d: safety violation: %v", seed, res.Violation)
+		}
+		if !res.Decided {
+			t.Fatalf("seed %d: population did not decide (last=%v)", seed, res.LastDecision)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []minority.Config{
+		{},                                   // missing Delta
+		{Delta: delta, Rho: 1},               // Rho out of range
+		{Delta: delta, RoundInterval: delta}, // interval inside round trip
+	}
+	for i, cfg := range cases {
+		if _, err := minority.New(cfg); err == nil {
+			t.Errorf("case %d: config %+v unexpectedly accepted", i, cfg)
+		}
+	}
+	if _, err := minority.New(minority.Config{Delta: delta}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

@@ -1,0 +1,24 @@
+package usd
+
+import (
+	"repro/internal/core/consensus"
+	"repro/internal/protocol"
+)
+
+// Descriptor publishes USD to the protocol registry. The descriptor is
+// Hidden: population dynamics give probabilistic, large-N guarantees rather
+// than the paper's worst-case agreement bounds, so the protocol resolves by
+// name (the population-dynamics scenarios and sweeps) but never joins the
+// default N=5 paper comparisons. It declares no DecisionBound — O(log n)
+// rounds w.h.p. is not a worst-case latency.
+func Descriptor() protocol.Descriptor {
+	return protocol.Descriptor{
+		Name:   "usd",
+		Doc:    "undecided-state dynamics (arXiv:2103.10366) — population-scale opinion consensus in O(log n) rounds w.h.p.",
+		Hidden: true,
+		New: func(p protocol.Params) (consensus.Factory, error) {
+			return New(Config{Delta: p.Delta, Rho: p.Rho})
+		},
+		Messages: []consensus.Message{Query{}, Reply{}, Decided{}},
+	}
+}

@@ -1,0 +1,32 @@
+package usd
+
+import "repro/internal/core/consensus"
+
+// Query asks a uniformly sampled peer for its current state. Round lets the
+// sampler discard replies that straggle in after the round closed.
+type Query struct {
+	Round int64
+}
+
+// Type implements consensus.Message.
+func (Query) Type() string { return "usd-query" }
+
+// Reply returns the responder's state for one sampling round. Undecided
+// marks the USD-specific third state, in which Opinion is stale.
+type Reply struct {
+	Round     int64
+	Opinion   consensus.Value
+	Undecided bool
+}
+
+// Type implements consensus.Message.
+func (Reply) Type() string { return "usd-reply" }
+
+// Decided announces a threshold decision so the rest of the population can
+// stop sampling. Receivers adopt without re-broadcasting.
+type Decided struct {
+	Val consensus.Value
+}
+
+// Type implements consensus.Message.
+func (Decided) Type() string { return "usd-decided" }

@@ -1,0 +1,98 @@
+package usd_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/usd"
+	"repro/internal/harness"
+)
+
+const delta = 10 * time.Millisecond
+
+// run executes one USD population run with a bounded opinion space.
+func run(t *testing.T, n, pool int, seed int64) harness.Result {
+	t.Helper()
+	res, err := harness.Run(harness.Config{
+		Protocol:    "usd",
+		N:           n,
+		Delta:       delta,
+		Seed:        seed,
+		OpinionPool: pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("safety violation: %v", res.Violation)
+	}
+	return res
+}
+
+// TestConvergesBoundedOpinions is the basic population run: every process
+// decides, on one of the proposed opinions, across seeds.
+func TestConvergesBoundedOpinions(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		res := run(t, 100, 2, seed)
+		if !res.Decided {
+			t.Fatalf("seed %d: population did not decide (last=%v)", seed, res.LastDecision)
+		}
+		if res.Value != "v0" && res.Value != "v1" {
+			t.Fatalf("seed %d: decided %q, not a proposed opinion", seed, res.Value)
+		}
+	}
+}
+
+// TestManyOpinions starts from the worst case for the undecided-state
+// mechanism: every process proposes a distinct opinion.
+func TestManyOpinions(t *testing.T) {
+	res := run(t, 100, 100, 1)
+	if !res.Decided {
+		t.Fatalf("population did not decide from distinct opinions (last=%v)", res.LastDecision)
+	}
+}
+
+// TestRestartRejoins crashes one process before the population decides and
+// restarts it after; decided peers' replies pull it forward to the same
+// decision.
+func TestRestartRejoins(t *testing.T) {
+	res, err := harness.Run(harness.Config{
+		Protocol:    "usd",
+		N:           50,
+		Delta:       delta,
+		Seed:        1,
+		OpinionPool: 2,
+		Restarts: []harness.Restart{
+			{Proc: 3, CrashAt: 50 * time.Millisecond, RestartAt: 3 * time.Second},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("safety violation: %v", res.Violation)
+	}
+	if !res.Decided {
+		t.Fatal("restarted process never caught up")
+	}
+	if _, ok := res.RestartRecovery[3]; !ok {
+		t.Fatal("no recovery measurement for the restarted process")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []usd.Config{
+		{},                                       // missing Delta
+		{Delta: delta, Rho: 1},                   // Rho out of range
+		{Delta: delta, RoundInterval: 2 * delta}, // interval inside round trip
+		{Delta: delta, StreakLen: -1},            // negative streak
+	}
+	for i, cfg := range cases {
+		if _, err := usd.New(cfg); err == nil {
+			t.Errorf("case %d: config %+v unexpectedly accepted", i, cfg)
+		}
+	}
+	if _, err := usd.New(usd.Config{Delta: delta}); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

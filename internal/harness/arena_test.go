@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// headline projects the deterministically comparable part of a Result.
+func headline(r Result) map[string]any {
+	return map[string]any{
+		"decided": r.Decided,
+		"value":   r.Value,
+		"first":   r.FirstDecision,
+		"last":    r.LastDecision,
+		"msgs":    r.Messages,
+		"byType":  r.MessagesByType,
+	}
+}
+
+// TestArenaRunsMatchFreshRuns is the storage-reuse guarantee: runs on a
+// shared arena — across different protocols and shrinking and growing
+// cluster sizes, in sequence — must be byte-identical to runs on fresh
+// engines and nodes. This is what lets the scenario runner keep one arena
+// per worker without the worker count or job order leaking into reports.
+func TestArenaRunsMatchFreshRuns(t *testing.T) {
+	configs := []Config{
+		{Protocol: "usd", N: 200, Delta: 10 * time.Millisecond, Seed: 3, OpinionPool: 2},
+		{Protocol: ModifiedPaxos, N: 5, Delta: 10 * time.Millisecond, TS: 200 * time.Millisecond, Seed: 1},
+		{Protocol: "3majority", N: 100, Delta: 10 * time.Millisecond, Seed: 2, OpinionPool: 3},
+		{Protocol: RoundBased, N: 9, Delta: 10 * time.Millisecond, TS: 200 * time.Millisecond, Seed: 4},
+	}
+	var fresh []map[string]any
+	for _, cfg := range configs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s fresh: %v", cfg.Protocol, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s fresh: safety violation: %v", cfg.Protocol, res.Violation)
+		}
+		fresh = append(fresh, headline(res))
+	}
+	arena := simnet.NewArena()
+	for pass := 0; pass < 2; pass++ {
+		for i, cfg := range configs {
+			cfg.Arena = arena
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s arena pass %d: %v", cfg.Protocol, pass, err)
+			}
+			if got := headline(res); !reflect.DeepEqual(got, fresh[i]) {
+				t.Fatalf("%s arena pass %d diverges from fresh run:\narena: %v\nfresh: %v",
+					cfg.Protocol, pass, got, fresh[i])
+			}
+		}
+	}
+}

@@ -118,6 +118,18 @@ type Config struct {
 	// process starts. The scenario engine uses them to install fault
 	// schedules (assassins, churn) that need direct network access.
 	PreStart []func(*simnet.Network)
+	// Arena, when non-nil, supplies pooled engine and node storage reused
+	// across runs (simnet.Arena). The scenario runner gives each worker
+	// its own arena so population-scale grid cells stop paying per-cell
+	// construction; results are byte-identical to fresh-storage runs.
+	Arena *simnet.Arena
+	// OpinionPool, when > 0, draws the processes' proposals round-robin
+	// from a pool of this many distinct values ("v0".."v(k-1)") instead of
+	// the default one-distinct-value-per-process. Population-dynamics
+	// protocols (usd, 3majority, minority) converge on the theory's
+	// O(log n) timescale only when the opinion space is bounded; validity
+	// is unaffected, since every pooled value is some process's proposal.
+	OpinionPool int
 	// Observe enables run-level observability: phase spans (run/pre-TS/
 	// post-TS, protocol sessions and rounds, leader epochs, crash windows)
 	// and latency/queue-depth histograms in the collector, exportable via
@@ -183,9 +195,26 @@ func (c Config) Params() protocol.Params {
 // DefaultProposals returns the proposals used by harness runs: distinct
 // per-process values so agreement is observable.
 func DefaultProposals(n int) []consensus.Value {
+	return PooledProposals(n, n)
+}
+
+// PooledProposals assigns proposals round-robin from a pool of k distinct
+// values, so population-dynamics runs can model a bounded opinion space
+// (Config.OpinionPool). k is clamped to [1, n].
+func PooledProposals(n, k int) []consensus.Value {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	pool := make([]consensus.Value, k)
+	for i := range pool {
+		pool[i] = consensus.Value(fmt.Sprintf("v%d", i))
+	}
 	out := make([]consensus.Value, n)
 	for i := range out {
-		out[i] = consensus.Value(fmt.Sprintf("v%d", i))
+		out[i] = pool[i%k]
 	}
 	return out
 }
@@ -211,7 +240,12 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	eng := sim.NewEngine(cfg.Seed)
+	var eng *sim.Engine
+	if cfg.Arena != nil {
+		eng = cfg.Arena.Engine(cfg.Seed)
+	} else {
+		eng = sim.NewEngine(cfg.Seed)
+	}
 	collector := trace.NewCollector()
 	if cfg.Debug {
 		collector.EnableLogging(10000)
@@ -233,11 +267,15 @@ func Run(cfg Config) (Result, error) {
 	if cfg.WorstCaseDelays {
 		minDelay = cfg.Delta
 	}
+	proposals := DefaultProposals(cfg.N)
+	if cfg.OpinionPool > 0 {
+		proposals = PooledProposals(cfg.N, cfg.OpinionPool)
+	}
 	nw, err := simnet.New(eng, simnet.Config{
 		N: cfg.N, Delta: cfg.Delta, TS: cfg.TS, MinDelay: minDelay,
 		Policy: cfg.Policy, Rho: cfg.Rho, Drift: cfg.Drift,
-		Collector: collector, Debug: cfg.Debug,
-	}, factory, DefaultProposals(cfg.N))
+		Collector: collector, Arena: cfg.Arena, Debug: cfg.Debug,
+	}, factory, proposals)
 	if err != nil {
 		return Result{}, err
 	}

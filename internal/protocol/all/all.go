@@ -13,9 +13,12 @@ package all
 
 import (
 	"repro/internal/core/bconsensus"
+	"repro/internal/core/majority"
+	"repro/internal/core/minority"
 	"repro/internal/core/modpaxos"
 	"repro/internal/core/paxos"
 	"repro/internal/core/roundbased"
+	"repro/internal/core/usd"
 	"repro/internal/protocol"
 )
 
@@ -28,4 +31,11 @@ func init() {
 	// Hidden ablation variants: resolvable by name (Table 10, CLIs), never
 	// part of default comparisons.
 	protocol.MustRegister(modpaxos.AblationDescriptor())
+	// Hidden population-dynamics family: probabilistic large-N gossip
+	// protocols for the population-scale scenarios and sweeps. Minority is
+	// the deliberate poly(n) contrast to the O(log n) trio.
+	protocol.MustRegister(usd.Descriptor())
+	protocol.MustRegister(majority.Descriptor())
+	protocol.MustRegister(majority.TwoChoicesDescriptor())
+	protocol.MustRegister(minority.Descriptor())
 }

@@ -12,11 +12,12 @@ var updateGoldens = flag.Bool("update", false, "rewrite the determinism golden f
 // goldenSpecs are the canned scenarios whose full JSON reports are pinned at
 // fixed seeds. Together they cover every hot path of the simulator: the
 // partition-heal policy, the Duplicate/Reorder re-delivery path
-// (Fate.Duplicates), and the obsolete-ballot adversary's direct injections
-// under worst-case delivery.
+// (Fate.Duplicates), the obsolete-ballot adversary's direct injections
+// under worst-case delivery, and — via population-dynamics — the batched
+// multicast fan-out with arena reuse at n=1000.
 func goldenSpecs(t *testing.T) []Spec {
 	t.Helper()
-	names := []string{"split-brain-until-TS", "dup-reorder-storm", "obsolete-ballot-replay"}
+	names := []string{"split-brain-until-TS", "dup-reorder-storm", "obsolete-ballot-replay", "population-dynamics"}
 	specs := make([]Spec, 0, len(names))
 	for _, name := range names {
 		s, ok := Lookup(name)

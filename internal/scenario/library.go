@@ -27,6 +27,7 @@ func Library() []Spec {
 		obsoleteBallotReplay(),
 		coordinatorAssassination(),
 		restartLatecomer(),
+		populationDynamics(),
 	}
 }
 
@@ -210,6 +211,28 @@ func coordinatorAssassination() Spec {
 		// The post-TS kill voids the ε+3τ+5δ premise, but the revived
 		// victim must still catch up in O(δ).
 		Checks: append(DefaultChecks(), RecoveryBound{MaxDeltas: 20}),
+	}
+}
+
+func populationDynamics() Spec {
+	return Spec{
+		Name:        "population-dynamics",
+		Description: "the O(log n) gossip family at n=1000: usd, 3-majority, and 2-choices over a two-opinion population",
+		// The dynamics protocols are hidden (they answer a different question
+		// than the paper's latency-bound family), so they must be named
+		// explicitly — a defaulted protocol set would never include them.
+		Protocols:       []harness.Protocol{"usd", "3majority", "2choices"},
+		N:               1000,
+		StableFromStart: true,
+		// A two-opinion population is the regime the O(log n) convergence
+		// theory addresses; n distinct proposals would never self-amplify.
+		OpinionPool: 2,
+		// Three seeds keep `run all` at population scale affordable; the
+		// sweep CLI widens the matrix when the scaling question is asked.
+		Seeds: 3,
+		// No latency-bound check: the dynamics family promises O(log n)
+		// rounds, not decision by TS + ε + 3τ + 5δ.
+		Checks: DefaultChecks(),
 	}
 }
 

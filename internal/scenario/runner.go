@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/protocol"
+	"repro/internal/simnet"
 	"repro/internal/trace"
 )
 
@@ -116,6 +117,12 @@ func execute(specs []Spec, workers int) [][][]cell {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns one arena: engine event storage and node
+			// state are reused across every simulator cell the worker
+			// runs, so a population-scale grid stops paying per-cell
+			// construction. Arena runs are byte-identical to fresh runs,
+			// so the report stays independent of the worker count.
+			arena := simnet.NewArena()
 			for j := range jobs {
 				spec := specs[j.gi]
 				p := spec.Protocols[j.pi]
@@ -130,6 +137,9 @@ func execute(specs []Spec, workers int) [][][]cell {
 				if err != nil {
 					slot.err = err
 					continue
+				}
+				if backend.Name() == BackendSim {
+					cfg.Arena = arena
 				}
 				res, err := backend.Run(cfg)
 				if err != nil {

@@ -267,6 +267,12 @@ type Spec struct {
 	// StableFromStart sets TS = 0 (the network is synchronous from time
 	// zero), which a zero TS alone cannot express because it defaults.
 	StableFromStart bool
+	// OpinionPool, when > 0, bounds the number of distinct proposals:
+	// processes draw their initial values round-robin from a pool of this
+	// many. Population-dynamics scenarios set it (the O(log n) theory
+	// assumes a bounded opinion space); 0 keeps the default
+	// one-distinct-proposal-per-process.
+	OpinionPool int
 	// Net is the pre-stabilization network profile (nil = DropAll).
 	Net NetProfile
 	// Faults is the fault schedule.
@@ -355,6 +361,7 @@ func (s Spec) config(p harness.Protocol, seed int64) (harness.Config, error) {
 		Rho: s.Clocks.Rho, Drift: s.Clocks.drift(s.N, s.Delta),
 		WorstCaseDelays: s.WorstCaseDelays,
 		Prepared:        s.Prepared,
+		OpinionPool:     s.OpinionPool,
 		Seed:            seed,
 		Horizon:         s.Horizon,
 		Observe:         s.Observe,

@@ -171,3 +171,32 @@ func TestHeapStressAgainstReferenceOrder(t *testing.T) {
 		t.Fatalf("%d events still pending after drain", e.Pending())
 	}
 }
+
+// TestBatchedBroadcastIsAllocFree pins the zero-alloc invariant of the
+// multicast fast path end to end: beginning a fan-out, adding every
+// recipient, committing, and stepping all deliveries through the sink must
+// not allocate once the slot pool and recipient-vector pool are warm.
+func TestBatchedBroadcastIsAllocFree(t *testing.T) {
+	const fanout = 64
+	e := NewEngine(1)
+	delivered := 0
+	e.SetDeliverySink(func(from, to int32, aux int64, payload any) { delivered++ })
+	var payload any = struct{ x int }{42} // boxed once, reused
+	round := func() {
+		mc := e.BeginMulticast(0, 7, payload, fanout)
+		for i := 0; i < fanout; i++ {
+			mc.Add(int32(i), e.Now()+time.Duration(i)*time.Microsecond)
+		}
+		mc.Commit()
+		for e.Step() {
+		}
+	}
+	round() // warm up slot, heap, and vector pools
+	allocs := testing.AllocsPerRun(1000, round)
+	if allocs != 0 {
+		t.Fatalf("batched broadcast round allocated %.1f allocs/op, want 0", allocs)
+	}
+	if delivered < 1000*fanout {
+		t.Fatalf("sink saw %d deliveries", delivered)
+	}
+}

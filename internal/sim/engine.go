@@ -44,6 +44,17 @@ type Engine struct {
 	free  int32
 	heap  []int32
 
+	// mvecs is the engine-owned storage for multicast recipient vectors
+	// (see multicast.go); mfree stacks the indices of vectors not currently
+	// attached to a scheduled multicast slot. Vectors keep their capacity
+	// when released, so steady-state broadcasting allocates nothing.
+	// multiExtra counts multicast recipients beyond the one the heap entry
+	// represents, so Pending can report undelivered deliveries — the same
+	// number a unicast schedule would — in O(1).
+	mvecs      [][]multiEntry
+	mfree      []int32
+	multiExtra int
+
 	sink DeliverySink
 
 	// executed counts events run so far (for budget enforcement and tests).
@@ -68,7 +79,13 @@ type slot struct {
 	gen     uint32
 	heapIdx int32
 	next    int32
-	sink    bool
+	// multi indexes the slot's recipient vector in Engine.mvecs when the
+	// slot is a multicast (-1 otherwise); mpos is the next vector entry to
+	// deliver. While scheduled, (at, seq) mirror the entry at mpos, so the
+	// heap orders a multicast by its earliest undelivered recipient.
+	multi int32
+	mpos  int32
+	sink  bool
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -159,7 +176,7 @@ func (e *Engine) alloc() int32 {
 		e.free = e.slots[si].next
 		return si
 	}
-	e.slots = append(e.slots, slot{})
+	e.slots = append(e.slots, slot{multi: -1})
 	return int32(len(e.slots) - 1)
 }
 
@@ -252,6 +269,9 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
+	if e.slots[e.heap[0]].multi >= 0 {
+		return e.stepMulticast(e.heap[0])
+	}
 	si := e.popMin()
 	s := &e.slots[si]
 	if s.at < e.now {
@@ -321,9 +341,11 @@ func (e *Engine) RunUntil(pred func() bool, horizon time.Duration) bool {
 	return pred()
 }
 
-// Pending returns the number of queued events. Canceled events are removed
+// Pending returns the number of queued events, counting each undelivered
+// multicast recipient individually — the value is identical to what an
+// equivalent unicast schedule would report. Canceled events are removed
 // eagerly, so they never count.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return len(e.heap) + e.multiExtra }
 
 // --- the event queue ---
 //

@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// nullProc ignores everything: the benchmark measures the network and
+// engine, not a protocol.
+type nullProc struct{}
+
+func (nullProc) Init(consensus.Environment)                           {}
+func (nullProc) HandleMessage(consensus.ProcessID, consensus.Message) {}
+func (nullProc) HandleTimer(consensus.TimerID)                        {}
+
+// benchNetwork builds an N-process network on the given arena (nil = fresh
+// storage), started and past TS so every fan-out takes the stable path.
+func benchNetwork(b *testing.B, arena *Arena, n int, seed int64) (*sim.Engine, *Network) {
+	b.Helper()
+	var eng *sim.Engine
+	if arena != nil {
+		eng = arena.Engine(seed)
+	} else {
+		eng = sim.NewEngine(seed)
+	}
+	factory := func(consensus.ProcessID, int, consensus.Value) consensus.Process { return nullProc{} }
+	nw, err := New(eng, Config{
+		N: n, Delta: 10 * time.Millisecond,
+		Collector: trace.NewCollector(), Arena: arena,
+	}, factory, proposals(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Start()
+	return eng, nw
+}
+
+// BenchmarkBroadcastN1000 is the tentpole A/B: one all-to-all broadcast
+// round at N=1000 — every process fans one message out to every process,
+// and the engine drains the resulting million deliveries. Network and
+// engine construction happen outside the timed region; the measurement is
+// the broadcast round itself.
+//
+// The unicast baseline is the pre-batching reality: one pooled heap event
+// per link, so the round pushes N² entries through the priority queue —
+// the engine's slot pool and heap must grow to a million entries and every
+// pop sifts a million-entry heap. The batched variant is what population
+// runs actually execute: arena-warm storage and one multicast slot per
+// sender, so the heap never exceeds N entries and the round allocates
+// nothing. The perfgate broadcast mode holds the batched numbers to
+// BENCH_9.json.
+func BenchmarkBroadcastN1000(b *testing.B) {
+	const n = 1000
+	// Boxed once: the senders share one interface value, as a protocol
+	// broadcasting a prepared message would.
+	var msg consensus.Message = pingMsg{V: "x"}
+
+	b.Run("unicast", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng, nw := benchNetwork(b, nil, n, int64(i)+1)
+			b.StartTimer()
+			for p := 0; p < n; p++ {
+				nw.Node(consensus.ProcessID(p)).broadcastUnicast(msg)
+			}
+			eng.Run(time.Second)
+		}
+	})
+
+	b.Run("batched", func(b *testing.B) {
+		arena := NewArena()
+		// Warm the arena as a scenario worker's first cell would.
+		eng, nw := benchNetwork(b, arena, n, 1)
+		for p := 0; p < n; p++ {
+			nw.Node(consensus.ProcessID(p)).Broadcast(msg)
+		}
+		eng.Run(time.Second)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng, nw := benchNetwork(b, arena, n, int64(i)+1)
+			b.StartTimer()
+			for p := 0; p < n; p++ {
+				nw.Node(consensus.ProcessID(p)).Broadcast(msg)
+			}
+			eng.Run(time.Second)
+		}
+	})
+}

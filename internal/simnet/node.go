@@ -59,6 +59,38 @@ func newNode(nw *Network, id consensus.ProcessID, factory consensus.Factory, pro
 	}
 }
 
+// reset re-binds a pooled node (Arena reuse) to a new run: fresh network,
+// factory, proposal, and clock; emptied stable storage; cleared decision
+// bookkeeping. The dense timer table and its cached firing closures are
+// kept — each closure captures only the node pointer and its timer index,
+// both stable across reuse, and reads the current proc/up state when it
+// fires — so a reused cell's timer churn allocates nothing from its very
+// first round. The previous run's engine has been Reset, which invalidated
+// every outstanding timer Event, so the stale handles left in the tables
+// are inert; they are zeroed here anyway to keep Pending() queries honest.
+func (n *Node) reset(nw *Network, factory consensus.Factory, proposal consensus.Value, drift clock.Drift) {
+	n.nw = nw
+	n.factory = factory
+	n.proposal = proposal
+	n.drift = drift
+	n.proc = nil
+	n.up = false
+	n.store.Reset()
+	for i := range n.timers {
+		n.timers[i] = sim.Event{}
+	}
+	for id := range n.timersXL {
+		delete(n.timersXL, id)
+	}
+	n.decided = false
+	n.decision = ""
+	n.decidedAt = 0
+	n.startedAt = 0
+	n.crashCount = 0
+	n.restartedAt = 0
+	n.restarted = false
+}
+
 // start boots (or reboots) the process at the current virtual time.
 func (n *Node) start() {
 	if n.up {
@@ -134,16 +166,6 @@ func (n *Node) GlobalNow() time.Duration { return n.nw.eng.Now() }
 //repro:hotpath
 func (n *Node) Send(to consensus.ProcessID, m consensus.Message) {
 	n.nw.route(n.id, to, m)
-}
-
-// Broadcast implements consensus.Environment: sends to every process,
-// including the sender (the paper's leaders message themselves too).
-//
-//repro:hotpath
-func (n *Node) Broadcast(m consensus.Message) {
-	for i := 0; i < n.nw.cfg.N; i++ {
-		n.nw.route(n.id, consensus.ProcessID(i), m)
-	}
 }
 
 // denseTimerCap bounds the dense timer table: every protocol constant is a

@@ -47,6 +47,10 @@ type Config struct {
 	Drift func(id consensus.ProcessID) clock.Drift
 	// Collector receives trace events; one is created when nil.
 	Collector *trace.Collector
+	// Arena, when non-nil, supplies pooled node storage reused across runs
+	// (see Arena). The engine passed to New must then be the arena's own
+	// (Arena.Engine), so node timer state and event storage reset together.
+	Arena *Arena
 	// Debug enables Logf forwarding into the collector.
 	Debug bool
 }
@@ -89,6 +93,10 @@ type Network struct {
 	// unassigned); queueHist likewise stores its histID+1.
 	deliveryHist []int
 	queueHist    int
+
+	// Scratch buffers returned by UpIDs/AllIDs (see their docs).
+	upScratch  []consensus.ProcessID
+	allScratch []consensus.ProcessID
 }
 
 // DeliveryObserver is notified after every successful message delivery.
@@ -134,7 +142,13 @@ func New(eng *sim.Engine, cfg Config, factory consensus.Factory, proposals []con
 		if err := d.Validate(); err != nil {
 			return nil, fmt.Errorf("simnet: process %d: %w", i, err)
 		}
-		nw.nodes = append(nw.nodes, newNode(nw, id, factory, proposals[i], d))
+		var node *Node
+		if cfg.Arena != nil {
+			node = cfg.Arena.node(nw, id, factory, proposals[i], d)
+		} else {
+			node = newNode(nw, id, factory, proposals[i], d)
+		}
+		nw.nodes = append(nw.nodes, node)
 		nw.checker.RecordProposal(id, proposals[i])
 	}
 	return nw, nil
@@ -232,23 +246,29 @@ func (nw *Network) notifyDelivered(from, to consensus.ProcessID, m consensus.Mes
 // Up reports whether the process is currently running.
 func (nw *Network) Up(id consensus.ProcessID) bool { return nw.nodes[id].up }
 
-// UpIDs returns the IDs of all currently-running processes.
+// UpIDs returns the IDs of all currently-running processes. The slice is a
+// scratch buffer owned by the network, valid until the next UpIDs call —
+// run-loop predicates call this every event, so it must not allocate at
+// population scale. Callers that retain it must copy.
 func (nw *Network) UpIDs() []consensus.ProcessID {
-	var ids []consensus.ProcessID
+	ids := nw.upScratch[:0]
 	for _, n := range nw.nodes {
 		if n.up {
 			ids = append(ids, n.id)
 		}
 	}
+	nw.upScratch = ids
 	return ids
 }
 
-// AllIDs returns every process ID.
+// AllIDs returns every process ID. Like UpIDs, the slice is a network-owned
+// scratch buffer, valid until the next AllIDs call.
 func (nw *Network) AllIDs() []consensus.ProcessID {
-	ids := make([]consensus.ProcessID, nw.cfg.N)
-	for i := range ids {
-		ids[i] = consensus.ProcessID(i)
+	ids := nw.allScratch[:0]
+	for i := 0; i < nw.cfg.N; i++ {
+		ids = append(ids, consensus.ProcessID(i))
 	}
+	nw.allScratch = ids
 	return ids
 }
 
@@ -261,6 +281,14 @@ func (nw *Network) AllIDs() []consensus.ProcessID {
 func (nw *Network) route(from, to consensus.ProcessID, m consensus.Message) {
 	typeID := nw.collector.Intern(m.Type())
 	nw.collector.SentID(typeID)
+	nw.routeInterned(from, to, m, typeID)
+}
+
+// routeInterned is route with the type already interned, so loops over many
+// recipients of one message (broadcastUnicast) pay the map read once.
+//
+//repro:hotpath
+func (nw *Network) routeInterned(from, to consensus.ProcessID, m consensus.Message, typeID int) {
 	now := nw.eng.Now()
 
 	var delay time.Duration

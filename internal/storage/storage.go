@@ -122,6 +122,16 @@ func (s *MemStore) Delete(key string) error {
 	return nil
 }
 
+// Reset empties the store in place, keeping the map storage warm. Arena
+// reuse (internal/simnet) resets each pooled node's store between runs
+// instead of allocating a fresh one per grid cell.
+func (s *MemStore) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.data)
+	clear(s.plain)
+}
+
 // Keys implements Store.
 func (s *MemStore) Keys() ([]string, error) {
 	s.mu.Lock()

@@ -121,6 +121,13 @@ func (c *Collector) DeliveredID(id int) { c.deliveredID[id]++ }
 // DroppedID records a drop on the interned fast path.
 func (c *Collector) DroppedID(id int) { c.droppedByID[id]++ }
 
+// SentIDN records n sends of one type in a single increment — the batched
+// broadcast path's O(1) accounting (sim backend only).
+func (c *Collector) SentIDN(id, n int) { c.sentByID[id] += int64(n) }
+
+// DroppedIDN records n drops of one type in a single increment.
+func (c *Collector) DroppedIDN(id, n int) { c.droppedByID[id] += int64(n) }
+
 // EnableLogging turns on retention of Logf lines, keeping at most limit
 // lines (0 means unlimited).
 func (c *Collector) EnableLogging(limit int) {
