@@ -10,6 +10,8 @@
 //     counters, never the mutexed string-keyed slow path
 //   - registrylint: handler type switches and Descriptor.Messages agree,
 //     one visible descriptor per protocol package
+//   - keylint:      Store.Put keys start with a prefix declared in the
+//     internal/storage key registry
 //
 // Usage:
 //

@@ -15,6 +15,8 @@
 //	scenario rsm-bench [-backend sim|live|live-tcp] [-clients N] [-ops N]
 //	                   [-n N] [-keys N] [-batch 1,8] [-pipeline 1,4]
 //	                   [-queue N] [-linger D] [-open D] [-delta D] [-seed S]
+//	                   [-crash-leader D] [-restart-leader D]
+//	                   [-compact-every N] [-failover-timeout D]
 //	                   [-format text|csv|json] [-timeline out.json]
 //
 // `list` enumerates the canned scenarios and the registered protocols.
@@ -56,6 +58,14 @@
 // quantiles and always checks the exactly-once, apply-order, and
 // cross-replica agreement invariants; any violation (or timeout) makes the
 // command exit non-zero, so a bench run doubles as a CI gate.
+//
+// Chaos flags: -crash-leader kills the initial leader mid-run (the group
+// fails over by epoch and the clients resume on the new leader) and
+// -restart-leader brings it back, where it catches up — via snapshot when
+// -compact-every has truncated the log past its crash point. Chaos runs
+// report failover/catch-up latency histograms and a per-replica rsmlog/
+// key census in the JSON output, and judge agreement slot-aligned (a
+// restarted replica's recorder restarts at its replay point).
 //
 // Both run and sweep take -cpuprofile and -memprofile, writing pprof
 // profiles that cover exactly the executed workload — perf work profiles
@@ -365,6 +375,10 @@ func cmdRSMBench(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 0, "substrate seed (default 1)")
 		format   = fs.String("format", "text", "output format: text, csv, or json")
 		timeline = fs.String("timeline", "", "write a Chrome-trace timeline of every run to this file")
+		crash    = fs.Duration("crash-leader", 0, "kill the initial leader this long into the run (default 0: no crash)")
+		restart  = fs.Duration("restart-leader", 0, "restart the crashed leader this long into the run (needs -crash-leader)")
+		compact  = fs.Int64("compact-every", 0, "snapshot and truncate the log every N applied slots (default 0: off)")
+		fotmo    = fs.Duration("failover-timeout", 0, "leader-silence window before takeover (default 10×δ when -crash-leader is set)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -374,6 +388,12 @@ func cmdRSMBench(args []string, out io.Writer) error {
 	}
 	if *format != "text" && *format != "csv" && *format != "json" {
 		return fmt.Errorf("unknown format %q (want text, csv, or json)", *format)
+	}
+	if *restart > 0 && *crash <= 0 {
+		return fmt.Errorf("-restart-leader needs -crash-leader")
+	}
+	if *restart > 0 && *restart <= *crash {
+		return fmt.Errorf("-restart-leader (%v) must be after -crash-leader (%v)", *restart, *crash)
 	}
 	batches, pipelines := []int{0}, []int{0}
 	var err error
@@ -397,6 +417,8 @@ func cmdRSMBench(args []string, out io.Writer) error {
 				Keys: *keys, MaxBatch: b, MaxInFlight: k, MaxQueue: *queue,
 				Linger: *linger, OpenInterval: *open, Delta: *delta,
 				Seed: *seed, Observe: *timeline != "",
+				CrashLeaderAt: *crash, RestartLeaderAt: *restart,
+				CompactEvery: *compact, FailoverTimeout: *fotmo,
 			})
 			if err != nil {
 				return err

@@ -13,6 +13,8 @@
 //   - registrylint: every message type a protocol's handlers switch on is
 //     listed in its Descriptor.Messages, and each protocol package
 //     registers exactly one visible descriptor
+//   - keylint:      every key passed to a storage.Store Put starts with a
+//     prefix declared in the internal/storage key registry
 //
 // Every claim the repo makes about the ε+3τ+5δ bound rests on the simulator
 // being byte-exactly deterministic, and every BENCH_*.json number rests on
@@ -69,7 +71,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in a fixed order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detlint, Hotlint, Tracelint, Registrylint}
+	return []*Analyzer{Detlint, Hotlint, Tracelint, Registrylint, Keylint}
 }
 
 // analyzerNames is the set of valid //repro:allow targets.

@@ -96,6 +96,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"testdata/src/reg3", "repro/internal/core/reg3/testdata/fix", analysis.Registrylint},
 		{"testdata/src/reg4", "repro/internal/core/reg4/testdata/fix", analysis.Registrylint},
 		{"testdata/src/reg5", "repro/internal/core/reg5/testdata/fix", analysis.Registrylint},
+		{"testdata/src/key", "repro/internal/analysis/testdata/src/key", analysis.Keylint},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir[len("testdata/src/"):], func(t *testing.T) {

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Keylint enforces the stable-storage key registry: every key passed to a
+// storage.Store Put must provably start with one of the Key* prefixes
+// declared in internal/storage/keys.go. An undeclared key spelling is
+// either invisible to recovery (no restore path scans its namespace) or,
+// worse, shadows another component's namespace — and neither failure shows
+// up until a restart.
+//
+// The key argument is resolved structurally: constant strings (including
+// package-level consts aliasing registry entries), the left operand of a
+// `+` concatenation, fmt.Sprintf's format literal up to its first verb, and
+// single-return helper functions in the same package are all traced to a
+// literal prefix. A key the analyzer cannot resolve is itself a diagnostic:
+// generic wrappers that forward caller-supplied keys carry an
+// //repro:allow keylint directive naming the namespace they forward into.
+var Keylint = &Analyzer{
+	Name: "keylint",
+	Doc:  "Store.Put keys start with a prefix declared in the internal/storage key registry",
+	Applies: func(pkgPath string) bool {
+		// The registry itself and fixture stubs are exempt.
+		return pkgPath != "repro/internal/storage" && !strings.HasSuffix(pkgPath, "/storestub")
+	},
+	Run: runKeylint,
+}
+
+// storagePackage finds internal/storage (or a fixture stand-in under a
+// .../storestub path) in the package's transitive imports.
+func storagePackage(pkg *types.Package) *types.Package {
+	seen := make(map[*types.Package]bool)
+	queue := []*types.Package{pkg}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if p.Path() == "repro/internal/storage" || strings.HasSuffix(p.Path(), "/storestub") {
+			return p
+		}
+		queue = append(queue, p.Imports()...)
+	}
+	return nil
+}
+
+// keyRegistry collects the exported Key* string constants of the storage
+// package — the declared namespaces.
+func keyRegistry(storage *types.Package) []string {
+	var out []string
+	scope := storage.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Key") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		out = append(out, constant.StringVal(c.Val()))
+	}
+	return out
+}
+
+// storeInterface returns the Store interface type of the storage package.
+func storeInterface(storage *types.Package) *types.Interface {
+	obj := storage.Scope().Lookup("Store")
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func runKeylint(p *Pass) {
+	if p.Pkg.Types == nil {
+		return
+	}
+	storage := storagePackage(p.Pkg.Types)
+	if storage == nil {
+		return // the package persists nothing through the registry's stores
+	}
+	iface := storeInterface(storage)
+	if iface == nil {
+		return
+	}
+	registry := keyRegistry(storage)
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Name() != "Put" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !types.Implements(sig.Recv().Type(), iface) {
+				return true
+			}
+			key, resolved := resolveKeyPrefix(p, call.Args[0], 0)
+			if !resolved {
+				p.Reportf(call.Args[0].Pos(),
+					"cannot determine the key prefix %s passes to Store.Put; build keys from a registered storage.Key* prefix, or annotate the forwarding site with //repro:allow keylint",
+					exprString(call.Args[0]))
+				return true
+			}
+			for _, prefix := range registry {
+				if strings.HasPrefix(key, prefix) {
+					return true
+				}
+			}
+			p.Reportf(call.Args[0].Pos(),
+				"Store.Put key %q starts with no prefix declared in the storage key registry; declare the namespace in internal/storage/keys.go", key)
+			return true
+		})
+	}
+}
+
+// resolveKeyPrefixDepth bounds helper inlining (self-recursive key builders
+// would otherwise loop).
+const resolveKeyPrefixDepth = 4
+
+// resolveKeyPrefix traces a Put key expression to the literal string prefix
+// it is guaranteed to start with.
+func resolveKeyPrefix(p *Pass, e ast.Expr, depth int) (string, bool) {
+	if depth > resolveKeyPrefixDepth {
+		return "", false
+	}
+	e = ast.Unparen(e)
+	// Anything the type-checker folded to a string constant — literals,
+	// registry consts, local aliases, constant concatenations.
+	if tv, ok := p.Pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if c, ok := p.ObjectOf(e).(*types.Const); ok && c.Val().Kind() == constant.String {
+			return constant.StringVal(c.Val()), true
+		}
+	case *ast.BinaryExpr:
+		// prefix + dynamic-suffix: the left operand bounds the namespace.
+		if e.Op.String() == "+" {
+			return resolveKeyPrefix(p, e.X, depth+1)
+		}
+	case *ast.CallExpr:
+		fn := calleeFunc(p, e)
+		if fn == nil {
+			return "", false
+		}
+		// fmt.Sprintf("prefix%d", ...): the format literal up to its first
+		// verb is the guaranteed prefix.
+		if funcPkgPath(fn) == "fmt" && fn.Name() == "Sprintf" && len(e.Args) > 0 {
+			format, ok := resolveKeyPrefix(p, e.Args[0], depth+1)
+			if !ok {
+				return "", false
+			}
+			if i := strings.IndexByte(format, '%'); i >= 0 {
+				format = format[:i]
+			}
+			return format, true
+		}
+		// Same-package single-return helpers (slotKey, sessKey): resolve
+		// the returned expression in place.
+		if fn.Pkg() == p.Pkg.Types {
+			if ret := singleReturnExpr(p, fn); ret != nil {
+				return resolveKeyPrefix(p, ret, depth+1)
+			}
+		}
+	}
+	return "", false
+}
+
+// singleReturnExpr returns the sole returned expression of a function whose
+// body is exactly one single-value return statement, or nil.
+func singleReturnExpr(p *Pass, fn *types.Func) ast.Expr {
+	for _, f := range p.Pkg.Files {
+		if fn.Pos() < f.Pos() || fn.Pos() >= f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Pos() != fn.Pos() || fd.Body == nil || len(fd.Body.List) != 1 {
+				continue
+			}
+			if ret, ok := fd.Body.List[0].(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+				return ret.Results[0]
+			}
+		}
+	}
+	return nil
+}

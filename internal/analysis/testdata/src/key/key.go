@@ -1,0 +1,47 @@
+// Package key is the keylint fixture: every Store.Put key must resolve to
+// a prefix declared in the storestub registry — through consts, local
+// aliases, concatenation, Sprintf formats, and single-return helpers — and
+// unresolvable keys are diagnostics unless an //repro:allow covers them.
+package key
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/analysis/testdata/src/storestub"
+)
+
+const localGood = storestub.KeyGoodPrefix
+
+const rogue = "rogue-"
+
+func slotKey(n int64) string { return storestub.KeyGoodPrefix + strconv.FormatInt(n, 10) }
+
+func rogueKey(n int64) string { return rogue + strconv.FormatInt(n, 10) }
+
+func writes(st storestub.Store, n int64, name string) {
+	_ = st.Put(storestub.KeyExact, 1)
+	_ = st.Put(storestub.KeyGoodPrefix+name, 1)
+	_ = st.Put(localGood+"x", 1)
+	_ = st.Put(slotKey(n), 1)
+	_ = st.Put(fmt.Sprintf("good/%d", n), 1)
+	_ = st.Put("undeclared", 1)             // want `Store\.Put key "undeclared" starts with no prefix declared`
+	_ = st.Put(rogueKey(n), 1)              // want `Store\.Put key "rogue-" starts with no prefix declared`
+	_ = st.Put(fmt.Sprintf("bad-%d", n), 1) // want `Store\.Put key "bad-" starts with no prefix declared`
+	_ = st.Put(name, 1)                     // want `cannot determine the key prefix name passes to Store\.Put`
+	//repro:allow keylint fixture: forwarding wrapper under a registered namespace
+	_ = st.Put(name+"x", 1)
+}
+
+// bag has a Put too, but does not implement the Store interface — keylint
+// must not rule on it.
+type bag map[string]int
+
+func (b bag) Put(key string, v int) error {
+	b[key] = v
+	return nil
+}
+
+func fill(b bag) {
+	_ = b.Put("whatever", 1)
+}

@@ -1,0 +1,18 @@
+// Package storestub is a fixture stand-in for internal/storage, so keylint
+// fixtures type-check in isolation. keylint matches it by the "/storestub"
+// path suffix: its Store interface and Key* constants play the registry.
+package storestub
+
+// Registry stand-ins.
+const (
+	KeyGoodPrefix = "good/"
+	KeyExact      = "exact-key"
+)
+
+// Store mirrors storage.Store.
+type Store interface {
+	Put(key string, value any) error
+	Get(key string, out any) (bool, error)
+	Delete(key string) error
+	Keys() ([]string, error)
+}

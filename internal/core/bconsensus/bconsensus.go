@@ -51,6 +51,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core/consensus"
 	"repro/internal/oracle"
+	"repro/internal/storage"
 )
 
 // Timer identifiers.
@@ -64,7 +65,7 @@ const (
 )
 
 // stateKey is the stable-storage key holding durable state.
-const stateKey = "bconsensus-state"
+const stateKey = storage.KeyBConsensusState
 
 // Config holds the algorithm parameters.
 type Config struct {

@@ -35,13 +35,14 @@ import (
 	"time"
 
 	"repro/internal/core/consensus"
+	"repro/internal/storage"
 )
 
 // roundTimer drives the sampling rounds.
 const roundTimer consensus.TimerID = 1
 
 // stateKey is the stable-storage key holding durable state.
-const stateKey = "majority-state"
+const stateKey = storage.KeyMajorityState
 
 // maxSamples bounds the per-round sample vector (3-majority's three).
 const maxSamples = 3

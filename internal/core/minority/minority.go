@@ -47,13 +47,14 @@ import (
 	"time"
 
 	"repro/internal/core/consensus"
+	"repro/internal/storage"
 )
 
 // roundTimer drives the sampling rounds.
 const roundTimer consensus.TimerID = 1
 
 // stateKey is the stable-storage key holding durable state.
-const stateKey = "minority-state"
+const stateKey = storage.KeyMinorityState
 
 // samples is the per-round sample size the rule is defined over.
 const samples = 3

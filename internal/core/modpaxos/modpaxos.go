@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core/consensus"
+	"repro/internal/storage"
 )
 
 // Timer identifiers.
@@ -45,7 +46,7 @@ const (
 )
 
 // stateKey is the stable-storage key holding durable state.
-const stateKey = "modpaxos-state"
+const stateKey = storage.KeyModPaxosState
 
 // Config holds the algorithm parameters. All of Delta, Sigma, Eps are as in
 // the paper; Rho is the clock-rate error bound used to budget local timers.
@@ -446,6 +447,30 @@ func (p *Process) decide(v consensus.Value) {
 	p.env.CancelTimer(heartbeatTimer)
 	p.env.Broadcast(Decided{Val: v})
 	p.env.SetTimer(gossipTimer, p.cfg.GossipInterval)
+}
+
+// Claim jumps an undecided instance to the ballot this process owns in the
+// given session and opens phase 1 immediately, bypassing the session-timer
+// wait. It is the hook a replicated-state-machine layer uses to hand a
+// failed-over leader the initiative the prepared session-1 owner enjoys:
+// claiming a session above every earlier epoch's gives the new leader's
+// proposals a dominating ballot without burning σ waiting for the crashed
+// owner's ballot to expire — and without it, each of its proposals would
+// duel the other followers' NoOp recovery ballots. A claim at or below the
+// current ballot is ignored, as is one on a decided instance.
+func (p *Process) Claim(session int64) {
+	if p.st.Decided {
+		return
+	}
+	b := consensus.BallotFor(session, p.id, p.n)
+	if b <= p.st.MBal {
+		return
+	}
+	p.st.MBal = b
+	p.st.Sent2a = false
+	p.persist()
+	p.p1bs = make(map[consensus.ProcessID]P1b)
+	p.enterSession()
 }
 
 // DecisionBound returns the paper's decision-time bound after TS:

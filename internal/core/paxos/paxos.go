@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core/consensus"
 	"repro/internal/leader"
+	"repro/internal/storage"
 )
 
 // Timer identifiers.
@@ -25,7 +26,7 @@ const (
 )
 
 // stateKey is the stable-storage key holding durable state.
-const stateKey = "paxos-state"
+const stateKey = storage.KeyPaxosState
 
 // Config holds the tunable parameters of the baseline.
 type Config struct {

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core/consensus"
+	"repro/internal/storage"
 )
 
 // Timer identifiers.
@@ -45,7 +46,7 @@ const (
 )
 
 // stateKey is the stable-storage key holding durable state.
-const stateKey = "roundbased-state"
+const stateKey = storage.KeyRoundBasedState
 
 // Config holds the algorithm parameters.
 type Config struct {

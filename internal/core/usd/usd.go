@@ -41,13 +41,14 @@ import (
 	"time"
 
 	"repro/internal/core/consensus"
+	"repro/internal/storage"
 )
 
 // roundTimer drives the sampling rounds.
 const roundTimer consensus.TimerID = 1
 
 // stateKey is the stable-storage key holding durable state.
-const stateKey = "usd-state"
+const stateKey = storage.KeyUSDState
 
 // Config holds the dynamics parameters.
 type Config struct {

@@ -19,6 +19,7 @@ func RegisterMessages() {
 		for _, m := range []consensus.Message{
 			ClientPropose{}, Redirect{}, Committed{}, Busy{},
 			Query{}, QueryReply{}, SlotMsg{}, Learn{}, LearnReply{},
+			Beat{}, SnapshotMsg{},
 		} {
 			gob.Register(m)
 		}
@@ -58,6 +59,16 @@ type Client struct {
 	retryEvery time.Duration
 	seq        uint64
 	reqID      uint64
+	// leader is the replica proposals currently aim at, remembered across
+	// operations; epoch is the highest leadership epoch seen in a
+	// Redirect, so stale redirects (a deposed leader pointing backwards)
+	// are ignored.
+	leader consensus.ProcessID
+	epoch  int64
+	// replicas, when set via SetReplicas, lets the client rotate to the
+	// next replica after clientFailoverAfter silent retries — the
+	// treat-silence-as-failover trigger.
+	replicas int
 
 	ops, retries, busy, redirects, inboxDrops atomic.Int64
 }
@@ -71,6 +82,7 @@ func NewClient(id consensus.ProcessID, transport live.Transport) *Client {
 		inbox:      make(chan consensus.Message, 64),
 		timeout:    5 * time.Second,
 		retryEvery: 250 * time.Millisecond,
+		leader:     Leader(),
 	}
 	transport.Register(id, func(_ consensus.ProcessID, m consensus.Message) {
 		select {
@@ -101,6 +113,20 @@ func (c *Client) SetRetryInterval(d time.Duration) {
 	}
 }
 
+// clientFailoverAfter is how many consecutive unanswered retransmissions a
+// client tolerates before treating leader silence as a crash and rotating
+// to the next replica (SetReplicas must have been called).
+const clientFailoverAfter = 2
+
+// SetReplicas tells the client the replica-group size, enabling silence
+// failover: after clientFailoverAfter unanswered retries the client aims at
+// the next replica instead of retrying a dead leader until the deadline.
+func (c *Client) SetReplicas(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas = n
+}
+
 // Stats returns a snapshot of the client's counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
@@ -121,9 +147,8 @@ func (c *Client) Propose(cmd consensus.Value) (int64, error) {
 	defer c.mu.Unlock()
 	c.seq++
 	seq := c.seq
-	leader := Leader()
 	send := func() {
-		c.transport.Send(c.id, leader, ClientPropose{Client: int64(c.id), Seq: seq, Cmd: cmd})
+		c.transport.Send(c.id, c.leader, ClientPropose{Client: int64(c.id), Seq: seq, Cmd: cmd})
 	}
 	send()
 	// The client only exists on the live side (it blocks a real goroutine
@@ -135,6 +160,7 @@ func (c *Client) Propose(cmd consensus.Value) (int64, error) {
 	retry := time.NewTimer(c.retryEvery) //repro:allow detlint live-only client, wall-clock timeouts by design
 	defer retry.Stop()
 	backoff := c.retryEvery
+	silent := 0
 	for {
 		select {
 		case m := <-c.inbox:
@@ -146,7 +172,13 @@ func (c *Client) Propose(cmd consensus.Value) (int64, error) {
 				}
 				// An ack for an earlier (already returned) proposal: ignore.
 			case Redirect:
-				leader = msg.Leader
+				if msg.Epoch < c.epoch {
+					// Staler leadership view than ours: ignore.
+					continue
+				}
+				c.epoch = msg.Epoch
+				c.leader = msg.Leader
+				silent = 0
 				c.redirects.Add(1)
 				c.retries.Add(1)
 				send()
@@ -154,6 +186,7 @@ func (c *Client) Propose(cmd consensus.Value) (int64, error) {
 			case Busy:
 				// Rejected, nothing queued: back off before retrying.
 				c.busy.Add(1)
+				silent = 0
 				backoff *= 2
 				if backoff > c.timeout/2 {
 					backoff = c.timeout / 2
@@ -162,6 +195,15 @@ func (c *Client) Propose(cmd consensus.Value) (int64, error) {
 			}
 		case <-retry.C:
 			c.retries.Add(1)
+			silent++
+			if c.replicas > 1 && silent >= clientFailoverAfter {
+				// Treat sustained silence as a leader crash: re-aim at the
+				// next replica. A follower answers with an epoch-stamped
+				// Redirect to the real leader; a dead one stays silent and
+				// the rotation continues (bounded by the retry cadence).
+				c.leader = consensus.ProcessID((int(c.leader) + 1) % c.replicas)
+				silent = 0
+			}
 			send()
 			retry.Reset(c.retryEvery)
 		case <-deadline.C:

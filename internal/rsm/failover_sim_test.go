@@ -1,0 +1,286 @@
+package rsm
+
+// Fault-injection tests for the robustness layer: epoch-based leader
+// failover (a follower self-promotes on leader silence and repairs the
+// in-flight slots) and snapshot compaction (the log stays bounded and a
+// replica behind the horizon catches up via snapshot install). The
+// invariants are the same as the serving-path tests — exactly-once apply in
+// slot order, identical logs — plus bounded storage and the recovery
+// observability (failover / catch-up latency histograms).
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core/consensus"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// beatBlackout drops every non-Beat message to one replica during a global
+// time window: an asymmetric partition that starves the replica of slot
+// traffic while the leader's liveness signal still arrives. It leaves a
+// deterministic decision gap for the failover repair path to close.
+type beatBlackout struct {
+	target   consensus.ProcessID
+	from, to time.Duration
+}
+
+// Fate implements simnet.Policy.
+func (b beatBlackout) Fate(tx simnet.Transmission, rng *rand.Rand) simnet.Fate {
+	if tx.To == b.target && tx.SentAt >= b.from && tx.SentAt < b.to {
+		if _, isBeat := tx.Msg.(Beat); !isBeat {
+			return simnet.Fate{Drop: true}
+		}
+	}
+	return simnet.Synchronous{}.Fate(tx, rng)
+}
+
+// clientCount tallies one client's entries in an apply log.
+func clientCount(entries []appliedCmd, client int64) int {
+	n := 0
+	for _, e := range entries {
+		if e.Cmd.Client == client {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSimFailoverLeaderCrash crashes the epoch-0 leader with a slot that
+// replica 1 never saw decided (a blackout hid the slot traffic, Beats still
+// arrived so maxSeen advanced). Replica 1 must self-promote after its
+// silence window, repair the gap through the slot's recovery machinery,
+// serve the client's replayed session exactly-once, and record the failover
+// latency. The old leader restarts later, is deposed by the higher epoch,
+// and converges to the same log.
+func TestSimFailoverLeaderCrash(t *testing.T) {
+	const n = 3
+	const client = 60
+	const ops = 4
+	delta := 10 * time.Millisecond
+	collector := trace.NewCollector()
+	collector.EnableHistograms()
+	eng, nw, logs := faultGroup(t, 31, simnet.Config{
+		N: n, Delta: delta, TS: 22 * delta, Collector: collector,
+		Policy: beatBlackout{target: 1, from: 6 * delta, to: 20 * delta},
+	}, Config{MaxBatch: 2, MaxInFlight: 2, FailoverTimeout: 8 * delta})
+	nw.Start()
+
+	// Seq 1 decides everywhere before the blackout; seq 2 decides on 0 and
+	// 2 during it (replica 1 only learns the slot exists, via Beat gossip);
+	// seq 3 is sent to a dead leader and lost.
+	nw.Inject(3*delta, 1, Leader(), ClientPropose{Client: client, Seq: 1, Cmd: consensus.Value("op")})
+	nw.Inject(13*delta/2, 1, Leader(), ClientPropose{Client: client, Seq: 2, Cmd: consensus.Value("op")})
+	nw.CrashAt(0, 21*delta/2)
+	nw.Inject(11*delta, 1, Leader(), ClientPropose{Client: client, Seq: 3, Cmd: consensus.Value("op")})
+
+	// The client treats the silence as a failover trigger and replays the
+	// whole session at the next replica; dedup keeps it exactly-once.
+	for k := 1; k <= ops; k++ {
+		nw.Inject(26*delta+time.Duration(k)*3*delta, 2, 1,
+			ClientPropose{Client: client, Seq: uint64(k), Cmd: consensus.Value("op")})
+	}
+	// The deposed leader comes back late: it must adopt the higher epoch,
+	// step down, and learn the slots it missed.
+	nw.RestartAt(0, 45*delta)
+
+	done := eng.RunUntil(func() bool {
+		return clientCount(logs[1].snapshot(), client) >= ops &&
+			clientCount(logs[2].snapshot(), client) >= ops
+	}, 60*time.Second)
+	if !done {
+		t.Fatalf("survivors did not apply the session: %d/%d ops",
+			clientCount(logs[1].snapshot(), client), clientCount(logs[2].snapshot(), client))
+	}
+	eng.Run(eng.Now() + 60*delta)
+
+	r1 := nw.Node(1).Process().(*Replica)
+	if !r1.IsLeader() || r1.Epoch() != 1 {
+		t.Fatalf("replica 1 should lead epoch 1, got leader=%v epoch=%d", r1.IsLeader(), r1.Epoch())
+	}
+	r0 := nw.Node(0).Process().(*Replica)
+	if r0.IsLeader() {
+		t.Fatalf("restarted replica 0 was not deposed (epoch %d)", r0.Epoch())
+	}
+	if r0.Epoch() < 1 {
+		t.Fatalf("restarted replica 0 never adopted the new epoch: %d", r0.Epoch())
+	}
+	for id, l := range logs {
+		entries := l.snapshot()
+		assertExactlyOnce(t, id, entries)
+		countSession(t, id, entries, client, ops)
+	}
+	assertSameLog(t, logs)
+	hist, ok := collector.HistogramCopy(trace.HistFailoverLatency)
+	if !ok || hist.Count() < 1 {
+		t.Fatalf("failover latency histogram missing (recorded=%v)", ok)
+	}
+}
+
+// TestSimSnapshotCompactionBoundsLog runs a workload long enough for three
+// snapshot horizons, with a session table too small for the client set (so
+// sessions spill to storage and must be folded into snapshots). The slot
+// records must stay bounded, a crash-restarted leader must resume from its
+// snapshot, and stale duplicates of compacted commands must still dedup —
+// their session state survives only inside the snapshot.
+func TestSimSnapshotCompactionBoundsLog(t *testing.T) {
+	const n = 3
+	const nclients = 3
+	const perClient = 4
+	delta := 10 * time.Millisecond
+	eng, nw, logs := faultGroup(t, 17, simnet.Config{
+		N: n, Delta: delta, TS: 0,
+	}, Config{MaxBatch: 1, SnapshotEvery: 4, MaxSessions: 2})
+	nw.Start()
+
+	for m := 0; m < nclients*perClient; m++ {
+		nw.Inject(time.Duration(3+3*m)*delta, 1, Leader(), ClientPropose{
+			Client: int64(70 + m%nclients), Seq: uint64(1 + m/nclients), Cmd: consensus.Value("op"),
+		})
+	}
+	total := nclients * perClient
+	done := eng.RunUntil(func() bool {
+		for _, l := range logs {
+			if len(l.snapshot()) < total {
+				return false
+			}
+		}
+		return true
+	}, 60*time.Second)
+	if !done {
+		t.Fatalf("workload did not apply everywhere: %d/%d/%d entries",
+			len(logs[0].snapshot()), len(logs[1].snapshot()), len(logs[2].snapshot()))
+	}
+	for id := 0; id < n; id++ {
+		entries := logs[id].snapshot()
+		assertExactlyOnce(t, id, entries)
+		for c := 0; c < nclients; c++ {
+			countSession(t, id, entries, int64(70+c), perClient)
+		}
+	}
+
+	// Restart the leader from its snapshot, then replay stale duplicates of
+	// the earliest (long-compacted) commands.
+	nw.CrashAt(0, 44*delta)
+	nw.RestartAt(0, 48*delta)
+	for c := 0; c < nclients; c++ {
+		nw.Inject(time.Duration(54+c)*delta, 1, Leader(),
+			ClientPropose{Client: int64(70 + c), Seq: 1, Cmd: consensus.Value("op")})
+	}
+	eng.Run(eng.Now() + 60*delta)
+
+	for id := 0; id < n; id++ {
+		keys, err := nw.Node(consensus.ProcessID(id)).Store().Keys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		slotRecords := 0
+		for _, k := range keys {
+			if len(k) >= len(storage.KeyRSMLogPrefix) && k[:len(storage.KeyRSMLogPrefix)] == storage.KeyRSMLogPrefix {
+				slotRecords++
+			}
+		}
+		if slotRecords > 2*4 {
+			t.Fatalf("replica %d keeps %d slot records after compaction (every 4)", id, slotRecords)
+		}
+		var snap Snapshot
+		if ok, err := nw.Node(consensus.ProcessID(id)).Store().Get(storage.KeyRSMSnapshot, &snap); err != nil || !ok {
+			t.Fatalf("replica %d has no snapshot record (ok=%v err=%v)", id, ok, err)
+		} else if snap.Applied < 8 {
+			t.Fatalf("replica %d snapshot horizon %d, want >= 8", id, snap.Applied)
+		}
+	}
+	r0 := nw.Node(0).Process().(*Replica)
+	if r0.snapBase < 8 {
+		t.Fatalf("restarted leader resumed with horizon %d, want >= 8", r0.snapBase)
+	}
+	// The restarted leader replays only above the horizon: the duplicates
+	// must be deduplicated by the snapshot's folded session table, never
+	// re-applied — here or on the survivors.
+	for _, e := range logs[0].snapshot() {
+		if e.Cmd.Seq == 1 {
+			t.Fatalf("compacted command re-applied after restart: %+v", e)
+		}
+	}
+	for id := 1; id < n; id++ {
+		entries := logs[id].snapshot()
+		assertExactlyOnce(t, id, entries)
+		for c := 0; c < nclients; c++ {
+			countSession(t, id, entries, int64(70+c), perClient)
+		}
+	}
+}
+
+// TestSimCatchUpViaSnapshot crashes a follower early, commits an entire
+// workload past the compaction horizon (the survivors truncate every slot
+// record the follower is missing), and restarts it. The follower can no
+// longer replay the log — it must install a shipped snapshot, land exactly
+// at the group's frontier, and record its catch-up latency.
+func TestSimCatchUpViaSnapshot(t *testing.T) {
+	const n = 3
+	const client = 80
+	const ops = 12
+	delta := 10 * time.Millisecond
+	collector := trace.NewCollector()
+	collector.EnableHistograms()
+	eng, nw, logs := faultGroup(t, 13, simnet.Config{
+		N: n, Delta: delta, TS: 0, Collector: collector,
+	}, Config{MaxBatch: 1, SnapshotEvery: 4})
+	nw.Start()
+
+	for k := 1; k <= ops; k++ {
+		nw.Inject(time.Duration(k)*3*delta, 1, Leader(),
+			ClientPropose{Client: client, Seq: uint64(k), Cmd: consensus.Value("op")})
+	}
+	// The follower has applied a slot or two when it dies; by restart the
+	// survivors have compacted far past it.
+	nw.CrashAt(2, 10*delta)
+	nw.RestartAt(2, 50*delta)
+
+	done := eng.RunUntil(func() bool {
+		node := nw.Node(2)
+		if !node.Up() {
+			return false
+		}
+		return node.Process().(*Replica).Applied() >= ops &&
+			clientCount(logs[0].snapshot(), client) >= ops
+	}, 60*time.Second)
+	if !done {
+		t.Fatalf("follower did not catch up (leader %d ops applied)",
+			clientCount(logs[0].snapshot(), client))
+	}
+	eng.Run(eng.Now() + 30*delta)
+
+	r2 := nw.Node(2).Process().(*Replica)
+	if r2.snapBase < 8 {
+		t.Fatalf("follower horizon %d — it did not install a snapshot", r2.snapBase)
+	}
+	if r2.Applied() < ops {
+		t.Fatalf("follower applied %d, want >= %d", r2.Applied(), ops)
+	}
+	// The fresh incarnation replays its own short pre-crash prefix, then
+	// jumps to the frontier via the snapshot: the compacted middle of the
+	// log must never reach its applier.
+	entries := logs[2].snapshot()
+	assertExactlyOnce(t, 2, entries)
+	if len(entries) >= ops {
+		t.Fatalf("follower replayed %d entries — snapshot catch-up did not engage", len(entries))
+	}
+	for _, e := range entries {
+		if e.Slot >= 4 {
+			t.Fatalf("follower re-applied compacted slot %d", e.Slot)
+		}
+	}
+	for id := 0; id < 2; id++ {
+		survivors := logs[id].snapshot()
+		assertExactlyOnce(t, id, survivors)
+		countSession(t, id, survivors, client, ops)
+	}
+	hist, ok := collector.HistogramCopy(trace.HistCatchupLatency)
+	if !ok || hist.Count() < 1 {
+		t.Fatalf("catch-up latency histogram missing (recorded=%v)", ok)
+	}
+}

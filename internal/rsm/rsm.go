@@ -42,6 +42,8 @@ import (
 
 	"repro/internal/core/consensus"
 	"repro/internal/core/modpaxos"
+	"repro/internal/leader"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -57,10 +59,18 @@ const timersPerSlot = 8
 const (
 	lingerTimer  consensus.TimerID = 0
 	catchupTimer consensus.TimerID = 1
+	// beatTimer paces the leader's liveness broadcast (failover only).
+	beatTimer consensus.TimerID = 2
+	// failoverTimer is the follower's leader-silence watchdog.
+	failoverTimer consensus.TimerID = 3
 )
 
 // slotKeyPrefix namespaces the per-slot decision records in stable storage.
-const slotKeyPrefix = "rsmlog/"
+const slotKeyPrefix = storage.KeyRSMLogPrefix
+
+// slotNamespace prefixes the per-slot store namespace handed to inner
+// protocol instances ("slot<N>/...", see slotEnv.Store).
+const slotNamespace = storage.KeySlotPrefix
 
 // maxParkedQueries bounds the per-replica list of read queries waiting for
 // the log to reach their MinApplied watermark.
@@ -81,9 +91,12 @@ type ClientPropose struct {
 // Type implements consensus.Message.
 func (ClientPropose) Type() string { return "rsm-propose" }
 
-// Redirect tells a client which replica is the proposer.
+// Redirect tells a client which replica is the proposer. Epoch stamps the
+// sender's leadership view so a client can discard redirects that are
+// staler than what it already follows (a deposed leader pointing backwards).
 type Redirect struct {
 	Leader consensus.ProcessID
+	Epoch  int64
 }
 
 // Type implements consensus.Message.
@@ -205,6 +218,19 @@ type Config struct {
 	// NewApplier, when set, supplies the state machine per replica instead
 	// of the built-in KVStore (queries then read an empty store).
 	NewApplier func(id consensus.ProcessID) Applier
+	// FailoverTimeout enables epoch-based leader failover: a follower that
+	// hears nothing from the leader for this long (scaled by its distance
+	// to the next epoch it owns, so candidates are staggered) promotes
+	// itself. Zero keeps the static leader at replica 0 with no heartbeat
+	// traffic — the schedules of existing runs are unchanged.
+	FailoverTimeout time.Duration
+	// HeartbeatEvery is the leader's Beat period (default FailoverTimeout/4).
+	HeartbeatEvery time.Duration
+	// SnapshotEvery enables log compaction: every time this many more
+	// slots have applied, the replica snapshots its applier + session
+	// table and truncates the decision log below the horizon. Zero
+	// disables compaction (the log grows without bound).
+	SnapshotEvery int64
 }
 
 // withDefaults fills the zero values.
@@ -223,6 +249,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 4096
+	}
+	if c.FailoverTimeout > 0 && c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.FailoverTimeout / 4
+		if c.HeartbeatEvery <= 0 {
+			c.HeartbeatEvery = c.FailoverTimeout
+		}
 	}
 	c.Paxos.Prepared = true
 	return c
@@ -264,15 +296,16 @@ func (q *queuedCmd) addWaiter(p consensus.ProcessID) {
 	q.waiters = append(q.waiters, p)
 }
 
-// session is the per-client dedup state: the highest applied sequence
-// number and the slot it applied from.
-type session struct {
+// Session is the per-client dedup state: the highest applied sequence
+// number and the slot it applied from. (Exported because snapshots carry
+// the full session table over the wire.)
+type Session struct {
 	Seq  uint64
 	Slot int64
 }
 
 // sessKeyPrefix namespaces spilled session records in the stable store.
-const sessKeyPrefix = "rsm-sess-"
+const sessKeyPrefix = storage.KeyRSMSessPrefix
 
 func sessKey(client int64) string {
 	return sessKeyPrefix + strconv.FormatInt(client, 10)
@@ -280,20 +313,20 @@ func sessKey(client int64) string {
 
 // lookupSession returns the client's dedup record: the bounded in-memory
 // table first, then records spilled to the stable store by eviction.
-func (r *Replica) lookupSession(client int64) (session, bool) {
+func (r *Replica) lookupSession(client int64) (Session, bool) {
 	if s, ok := r.sessions[client]; ok {
 		return s, true
 	}
-	var s session
+	var s Session
 	if ok, err := r.env.Store().Get(sessKey(client), &s); err == nil && ok {
 		return s, true
 	}
-	return session{}, false
+	return Session{}, false
 }
 
 // recordSession updates a client's dedup record after its command applied,
 // evicting the oldest records once the in-memory table exceeds MaxSessions.
-func (r *Replica) recordSession(client int64, s session) {
+func (r *Replica) recordSession(client int64, s Session) {
 	r.sessions[client] = s
 	for len(r.sessions) > r.cfg.MaxSessions {
 		r.evictOldestSession()
@@ -305,7 +338,7 @@ func (r *Replica) recordSession(client int64, s session) {
 // duplicate costs one store read instead of a map hit; its exactly-once
 // guarantee is unchanged.
 func (r *Replica) evictOldestSession() {
-	victim, vs, found := int64(0), session{}, false
+	victim, vs, found := int64(0), Session{}, false
 	for c, s := range r.sessions {
 		if !found || s.Slot < vs.Slot || (s.Slot == vs.Slot && c < victim) {
 			// The (slot, client) comparison totally orders the entries, so
@@ -373,7 +406,7 @@ type Replica struct {
 
 	// sessions is the apply-side dedup state, rebuilt from the log on
 	// restart because it is only mutated while applying.
-	sessions map[int64]session
+	sessions map[int64]Session
 
 	// Catch-up: maxSeen is the highest slot this replica knows exists
 	// (decided locally or referenced by any peer message); while the log
@@ -381,6 +414,28 @@ type Replica struct {
 	maxSeen      int64
 	catchupArmed bool
 	catchupPeer  int
+
+	// Failover (active only with cfg.FailoverTimeout > 0): epoch numbers
+	// leadership; the leader of epoch e is replica e mod n, so epoch 0
+	// preserves the static replica-0 leader.
+	epoch          int64
+	lastLeaderSeen time.Duration
+	failoverArmed  bool
+	// repairing tracks a takeover's log-repair window for the failover
+	// span/histogram: open until applied reaches repairTarget.
+	repairing    bool
+	repairTarget int64
+	failoverFrom time.Duration
+
+	// Compaction: snapBase is the snapshot horizon — the lowest slot still
+	// present in the decision log (0 until the first snapshot).
+	snapBase int64
+
+	// Restart catch-up timing: set on a non-empty restore, resolved into
+	// HistCatchupLatency once the log is gap-free after hearing a peer.
+	catchupPending bool
+	peerHeard      bool
+	restartedAt    time.Duration
 
 	parked []parkedQuery
 
@@ -414,7 +469,7 @@ func New(cfg Config) (consensus.Factory, error) {
 			tracked:    make(map[sessionKey]*queuedCmd),
 			proposed:   make(map[int64][]*queuedCmd),
 			pending:    make(map[int64]consensus.Value),
-			sessions:   make(map[int64]session),
+			sessions:   make(map[int64]Session),
 			maxSeen:    -1,
 			kv:         NewKVStore(),
 		}
@@ -434,16 +489,41 @@ func (r *Replica) Init(env consensus.Environment) {
 	if r.applier == nil {
 		r.applier = r.kv
 	}
-	// Recover the decided log from its per-slot records and re-apply;
-	// sessions rebuild as a side effect of applying.
+	// A compaction snapshot replaces the log below its horizon: restore
+	// the applier image and the complete session table first, then replay
+	// only the decision records above it.
+	var snap Snapshot
+	if ok, err := env.Store().Get(storage.KeyRSMSnapshot, &snap); err == nil && ok && snap.Applied > 0 {
+		if snap.HasState {
+			if sn, ok := r.applier.(Snapshotter); ok {
+				r.mu.Lock()
+				err := sn.Restore(snap.State)
+				r.mu.Unlock()
+				if err != nil {
+					env.Logf("rsm: restore snapshot: %v", err)
+				}
+			}
+		}
+		r.sessions = make(map[int64]Session, len(snap.Sessions))
+		for c, s := range snap.Sessions {
+			r.sessions[c] = s
+		}
+		r.applied = snap.Applied
+		r.snapBase = snap.Applied
+		r.maxSeen = snap.Applied - 1
+	}
+	// Recover the rest of the decided log from its per-slot records and
+	// re-apply; sessions above the horizon rebuild as a side effect.
 	keys, err := env.Store().Keys()
 	if err != nil {
 		env.Logf("rsm: restore: %v", err)
 	}
 	for _, k := range keys {
-		// Spilled session records cache state the log replay below rebuilds;
-		// a stale record would make replay skip re-applying its client's
-		// commands to the fresh state machine, so clear them first.
+		// Spilled session records cache state the snapshot + log replay
+		// rebuilds (the snapshot folded every spill made before it; later
+		// spills re-derive from replay), so clear them first — a stale
+		// record would make replay skip re-applying its client's commands
+		// to the restored state machine.
 		if strings.HasPrefix(k, sessKeyPrefix) {
 			if err := env.Store().Delete(k); err != nil {
 				env.Logf("rsm: restore: drop %s: %v", k, err)
@@ -457,6 +537,14 @@ func (r *Replica) Init(env consensus.Environment) {
 		if err != nil {
 			continue
 		}
+		if slot < r.applied {
+			// Below the snapshot horizon (a crash between snapshot write
+			// and truncation): finish the truncation.
+			if err := env.Store().Delete(k); err != nil {
+				env.Logf("rsm: restore: truncate %s: %v", k, err)
+			}
+			continue
+		}
 		var v consensus.Value
 		if ok, err := env.Store().Get(k, &v); err != nil {
 			env.Logf("rsm: restore %s: %v", k, err)
@@ -468,7 +556,7 @@ func (r *Replica) Init(env consensus.Environment) {
 		}
 	}
 	var next int64
-	if ok, _ := env.Store().Get("rsm-next", &next); ok {
+	if ok, _ := env.Store().Get(storage.KeyRSMNext, &next); ok && next > r.nextSlot {
 		r.nextSlot = next
 	}
 	// Slots assigned before a crash may have decided elsewhere; treat them
@@ -476,7 +564,14 @@ func (r *Replica) Init(env consensus.Environment) {
 	if r.nextSlot-1 > r.maxSeen {
 		r.maxSeen = r.nextSlot - 1
 	}
+	if r.maxSeen >= 0 || r.applied > 0 {
+		// Non-empty restore ⇒ this is a restart: time how long until the
+		// log is gap-free again (resolved into HistCatchupLatency).
+		r.catchupPending = true
+		r.restartedAt = env.Now()
+	}
 	r.applyReady()
+	r.initFailover()
 	// Probe peers for decisions made while this replica was down: their
 	// instances may be retired (no more decision gossip), so a restarted
 	// replica must ask. On a fresh cluster the probes return nothing.
@@ -489,6 +584,13 @@ func (r *Replica) Init(env consensus.Environment) {
 
 // HandleMessage implements consensus.Process.
 func (r *Replica) HandleMessage(from consensus.ProcessID, m consensus.Message) {
+	if from != r.id && int64(from) < int64(r.n) {
+		r.peerHeard = true
+		if r.failoverOn() && from == r.leaderID() {
+			// Any traffic from the current leader is a sign of life.
+			r.noteLeaderAlive()
+		}
+	}
 	switch msg := m.(type) {
 	case ClientPropose:
 		r.onPropose(from, msg)
@@ -500,6 +602,26 @@ func (r *Replica) HandleMessage(from consensus.ProcessID, m consensus.Message) {
 		r.onLearn(from, msg)
 	case LearnReply:
 		r.onLearnReply(from, msg)
+	case Beat:
+		r.onBeat(from, msg)
+	case SnapshotMsg:
+		r.onSnapshot(from, msg)
+	case leader.Announce:
+		r.onAnnounce(msg)
+	}
+	r.resolveCatchup()
+}
+
+// resolveCatchup closes the restart catch-up window once the replica has
+// heard from a peer and has no known gap left — the point where it is
+// provably serving the same prefix as the group again.
+func (r *Replica) resolveCatchup() {
+	if !r.catchupPending || !r.peerHeard || r.maxSeen >= r.applied {
+		return
+	}
+	r.catchupPending = false
+	if d := r.env.Now() - r.restartedAt; d >= 0 {
+		consensus.ObserveDuration(r.env, trace.HistCatchupLatency, d)
 	}
 }
 
@@ -513,6 +635,10 @@ func (r *Replica) HandleTimer(id consensus.TimerID) {
 			r.tryFlush(true)
 		case catchupTimer:
 			r.onCatchupTimer()
+		case beatTimer:
+			r.onBeatTimer()
+		case failoverTimer:
+			r.onFailoverTimer()
 		}
 		return
 	}
@@ -524,8 +650,8 @@ func (r *Replica) HandleTimer(id consensus.TimerID) {
 }
 
 func (r *Replica) onPropose(from consensus.ProcessID, msg ClientPropose) {
-	if r.id != Leader() {
-		r.env.Send(from, Redirect{Leader: Leader()})
+	if r.id != r.leaderID() {
+		r.env.Send(from, Redirect{Leader: r.leaderID(), Epoch: r.epoch})
 		return
 	}
 	if msg.Seq != 0 {
@@ -570,6 +696,12 @@ func (r *Replica) onPropose(from consensus.ProcessID, msg ClientPropose) {
 // batch instead waits out the linger window (force is that timer firing);
 // the head batch only, so a full queue still streams out.
 func (r *Replica) tryFlush(force bool) {
+	if r.failoverOn() && r.id != r.leaderID() {
+		// Deposed mid-batch (or a stolen slot re-queued after deposition):
+		// the commands belong to the new leader now.
+		r.forwardQueue()
+		return
+	}
 	for len(r.queue) > 0 && r.inFlight < r.cfg.MaxInFlight && r.nextSlot < r.cfg.MaxSlots {
 		if !force && len(r.queue) < r.cfg.MaxBatch {
 			if r.cfg.Linger > 0 {
@@ -605,7 +737,7 @@ func (r *Replica) tryFlush(force bool) {
 		r.inFlight++
 		consensus.ObserveValue(r.env, trace.HistBatchSize, int64(take))
 		r.slotSpan(slot, "commit", true, int64(take))
-		r.instance(slot, val)
+		r.claimSlot(r.instance(slot, val))
 	}
 	if len(r.queue) >= r.cfg.MaxBatch {
 		// Window full with a whole batch still queued: no timer needed, the
@@ -625,7 +757,7 @@ func (r *Replica) tryFlush(force bool) {
 func (r *Replica) assignSlot() int64 {
 	slot := r.nextSlot
 	r.nextSlot++
-	if err := r.env.Store().Put("rsm-next", r.nextSlot); err != nil {
+	if err := r.env.Store().Put(storage.KeyRSMNext, r.nextSlot); err != nil {
 		r.env.Logf("rsm: persist next: %v", err)
 	}
 	return slot
@@ -694,6 +826,11 @@ func (r *Replica) onSlotMsg(from consensus.ProcessID, msg SlotMsg) {
 			}
 			return
 		}
+	} else if msg.Slot < r.applied {
+		// Compacted below the snapshot horizon: there is no decision record
+		// left to answer from. The sender recovers via Learn, which ships
+		// the snapshot for ranges below the horizon.
+		return
 	}
 	st := r.instance(msg.Slot, NoOp)
 	st.proc.HandleMessage(from, msg.Inner)
@@ -796,7 +933,7 @@ func (r *Replica) applyReady() {
 				}
 				r.mu.Unlock()
 				if cmd.Seq != 0 {
-					r.recordSession(cmd.Client, session{Seq: cmd.Seq, Slot: slot})
+					r.recordSession(cmd.Client, Session{Seq: cmd.Seq, Slot: slot})
 				}
 			}
 		}
@@ -822,6 +959,8 @@ func (r *Replica) applyReady() {
 	}
 	if progressed {
 		r.flushParked()
+		r.finishRepair()
+		r.maybeSnapshot()
 	}
 	r.checkCatchup()
 }
@@ -873,6 +1012,15 @@ func (r *Replica) onLearn(from consensus.ProcessID, msg Learn) {
 	if msg.From < 0 {
 		return
 	}
+	if msg.From < r.snapBase {
+		// The requested range is below our compaction horizon: ship the
+		// snapshot instead of slot records we no longer have.
+		var snap Snapshot
+		if ok, err := r.env.Store().Get(storage.KeyRSMSnapshot, &snap); err == nil && ok {
+			r.env.Send(from, SnapshotMsg{Snap: snap})
+		}
+		return
+	}
 	var entries []SlotValue
 	for slot := msg.From; slot <= r.maxSeen && len(entries) < learnChunk; slot++ {
 		if v, ok := r.decisions[slot]; ok {
@@ -916,7 +1064,7 @@ func (r *Replica) spansOn() bool {
 // slotSpan emits a slot-lane span ("slotN-commit", "slotN-apply") on the
 // proposer, giving the timeline one lane per pipelined slot.
 func (r *Replica) slotSpan(slot int64, kind string, begin bool, value int64) {
-	if r.id != Leader() || !r.spansOn() {
+	if r.id != r.leaderID() || !r.spansOn() {
 		return
 	}
 	if sink, ok := r.env.(consensus.SpanSink); ok {

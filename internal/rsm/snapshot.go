@@ -1,0 +1,272 @@
+package rsm
+
+// Log compaction. Without it the decision log — in memory and as
+// rsmlog/<slot> records in stable storage — grows forever, and a restarted
+// replica replays history from slot 0. With Config.SnapshotEvery set, each
+// replica independently snapshots its applier image plus the complete
+// session table every SnapshotEvery applied slots, then truncates
+// everything below the snapshot horizon: decision records, retired
+// instances' slot<N>/ namespaces, and the spilled rsm-sess- records the
+// snapshot folded in. Restart restores the snapshot and replays only the
+// log above the horizon; a replica that fell behind the horizon catches up
+// via Learn, which ships the snapshot instead of slot records the peer no
+// longer has.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strconv"
+	"strings"
+
+	"repro/internal/core/consensus"
+	"repro/internal/storage"
+)
+
+// Snapshot is the durable compaction record: everything below Applied,
+// folded. Sessions is the complete dedup table at the horizon (in-memory
+// entries plus every spilled rsm-sess- record), so installing a snapshot
+// preserves exactly-once semantics for clients whose commands were
+// compacted away.
+type Snapshot struct {
+	// Applied is the horizon: the number of contiguous slots folded in.
+	Applied int64
+	// Sessions is the full client dedup table at the horizon.
+	Sessions map[int64]Session
+	// State is the applier's image (HasState false when the applier does
+	// not implement Snapshotter — replay semantics then restart fresh at
+	// the horizon, which the rsmbench recorder relies on).
+	State    []byte
+	HasState bool
+}
+
+// SnapshotMsg ships a snapshot to a replica whose Learn request fell below
+// the sender's compaction horizon.
+type SnapshotMsg struct {
+	Snap Snapshot
+}
+
+// Type implements consensus.Message.
+func (SnapshotMsg) Type() string { return "rsm-snapshot" }
+
+// Snapshotter is optionally implemented by Appliers that can serialize
+// their state; the built-in KVStore implements it. Appliers without it
+// still benefit from log truncation, but a snapshot install cannot restore
+// their pre-horizon state.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
+// maybeSnapshot writes a snapshot once enough new slots have applied since
+// the last horizon.
+func (r *Replica) maybeSnapshot() {
+	if r.cfg.SnapshotEvery <= 0 || r.applied < r.snapBase+r.cfg.SnapshotEvery {
+		return
+	}
+	r.writeSnapshot()
+}
+
+// writeSnapshot folds the current state into a Snapshot, persists it, and
+// truncates everything below the new horizon.
+func (r *Replica) writeSnapshot() {
+	keys, err := r.env.Store().Keys()
+	if err != nil {
+		r.env.Logf("rsm: snapshot: list keys: %v", err)
+		return
+	}
+	snap := Snapshot{Applied: r.applied, Sessions: make(map[int64]Session, len(r.sessions))}
+	for c, s := range r.sessions {
+		snap.Sessions[c] = s
+	}
+	// Fold the spilled session records in; they are deleted below once the
+	// snapshot is durable.
+	var spilled []string
+	for _, k := range keys {
+		if !strings.HasPrefix(k, sessKeyPrefix) {
+			continue
+		}
+		spilled = append(spilled, k)
+		client, err := strconv.ParseInt(k[len(sessKeyPrefix):], 10, 64)
+		if err != nil {
+			continue
+		}
+		if _, ok := snap.Sessions[client]; ok {
+			continue // the in-memory entry is at least as new
+		}
+		var s Session
+		if ok, err := r.env.Store().Get(k, &s); err == nil && ok {
+			snap.Sessions[client] = s
+		}
+	}
+	if sn, ok := r.applier.(Snapshotter); ok {
+		r.mu.Lock()
+		img, err := sn.Snapshot()
+		r.mu.Unlock()
+		if err != nil {
+			r.env.Logf("rsm: snapshot applier: %v", err)
+			return
+		}
+		snap.State, snap.HasState = img, true
+	}
+	if err := r.env.Store().Put(storage.KeyRSMSnapshot, snap); err != nil {
+		r.env.Logf("rsm: persist snapshot: %v", err)
+		return
+	}
+	// The snapshot now owns everything below the horizon.
+	for _, k := range spilled {
+		if err := r.env.Store().Delete(k); err != nil {
+			r.env.Logf("rsm: snapshot: drop %s: %v", k, err)
+		}
+	}
+	r.truncateBelow(snap.Applied, keys)
+	r.snapBase = snap.Applied
+	r.env.Emit("rsm-snapshot", snap.Applied)
+}
+
+// truncateBelow drops decision records and retired instances' namespaced
+// protocol state for every slot below the horizon, in memory and in the
+// store. keys is a Keys() listing taken by the caller.
+func (r *Replica) truncateBelow(horizon int64, keys []string) {
+	for slot := range r.decisions {
+		if slot < horizon {
+			delete(r.decisions, slot)
+			delete(r.decidedAt, slot)
+		}
+	}
+	for _, k := range keys {
+		if slot, ok := slotOfKey(k); ok && slot < horizon {
+			if err := r.env.Store().Delete(k); err != nil {
+				r.env.Logf("rsm: truncate %s: %v", k, err)
+			}
+		}
+	}
+}
+
+// slotOfKey extracts the slot a store key belongs to: a decision record
+// ("rsmlog/<slot>") or an instance namespace ("slot<N>/...").
+func slotOfKey(k string) (int64, bool) {
+	if strings.HasPrefix(k, slotKeyPrefix) {
+		s, err := strconv.ParseInt(k[len(slotKeyPrefix):], 10, 64)
+		return s, err == nil
+	}
+	if strings.HasPrefix(k, slotNamespace) {
+		rest := k[len(slotNamespace):]
+		if i := strings.IndexByte(rest, '/'); i > 0 {
+			s, err := strconv.ParseInt(rest[:i], 10, 64)
+			return s, err == nil
+		}
+	}
+	return 0, false
+}
+
+// onSnapshot installs a shipped snapshot if it is ahead of this replica's
+// apply frontier, then keeps learning from the sender above the horizon.
+func (r *Replica) onSnapshot(from consensus.ProcessID, msg SnapshotMsg) {
+	if msg.Snap.Applied <= r.applied {
+		return
+	}
+	r.installSnapshot(msg.Snap)
+	r.env.Send(from, Learn{From: r.applied})
+}
+
+// installSnapshot jumps the replica forward to the snapshot horizon:
+// restore the applier image and session table, clear the spilled session
+// records it replaces, retire and truncate everything below, and persist
+// the snapshot locally so a restart resumes from the horizon.
+func (r *Replica) installSnapshot(snap Snapshot) {
+	if snap.HasState {
+		if sn, ok := r.applier.(Snapshotter); ok {
+			r.mu.Lock()
+			err := sn.Restore(snap.State)
+			r.mu.Unlock()
+			if err != nil {
+				r.env.Logf("rsm: install snapshot: %v", err)
+				return
+			}
+		}
+	}
+	r.sessions = make(map[int64]Session, len(snap.Sessions))
+	for c, s := range snap.Sessions {
+		r.sessions[c] = s
+	}
+	keys, err := r.env.Store().Keys()
+	if err != nil {
+		r.env.Logf("rsm: install snapshot: list keys: %v", err)
+		keys = nil
+	}
+	// Spilled records are superseded by the snapshot's folded table.
+	for _, k := range keys {
+		if strings.HasPrefix(k, sessKeyPrefix) {
+			if err := r.env.Store().Delete(k); err != nil {
+				r.env.Logf("rsm: install snapshot: drop %s: %v", k, err)
+			}
+		}
+	}
+	for len(r.sessions) > r.cfg.MaxSessions {
+		r.evictOldestSession()
+	}
+	for slot := range r.slots {
+		if slot < snap.Applied {
+			r.retire(slot)
+		}
+	}
+	// Drop proposer bookkeeping for compacted slots (only reachable when a
+	// deposed ex-leader fell behind the horizon).
+	for slot := range r.pending {
+		if slot < snap.Applied {
+			delete(r.pending, slot)
+			delete(r.proposed, slot)
+			delete(r.proposedAt, slot)
+			r.inFlight--
+		}
+	}
+	r.applied = snap.Applied
+	if snap.Applied-1 > r.maxSeen {
+		r.maxSeen = snap.Applied - 1
+	}
+	if r.nextSlot < snap.Applied {
+		r.nextSlot = snap.Applied
+		if err := r.env.Store().Put(storage.KeyRSMNext, r.nextSlot); err != nil {
+			r.env.Logf("rsm: persist next: %v", err)
+		}
+	}
+	if err := r.env.Store().Put(storage.KeyRSMSnapshot, snap); err != nil {
+		r.env.Logf("rsm: persist snapshot: %v", err)
+	}
+	if keys != nil {
+		r.truncateBelow(snap.Applied, keys)
+	}
+	r.snapBase = snap.Applied
+	r.env.Emit("rsm-snapshot-install", snap.Applied)
+	// Decisions already held above the horizon may now be contiguous.
+	r.applyReady()
+}
+
+// kvImage is the KVStore's gob snapshot layout.
+type kvImage struct {
+	Data map[string]string
+	Log  []consensus.Value
+}
+
+// Snapshot implements Snapshotter.
+func (s *KVStore) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	img := kvImage{Data: s.data, Log: s.log}
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements Snapshotter.
+func (s *KVStore) Restore(data []byte) error {
+	var img kvImage
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&img); err != nil {
+		return err
+	}
+	if img.Data == nil {
+		img.Data = make(map[string]string)
+	}
+	s.data, s.log = img.Data, img.Log
+	return nil
+}

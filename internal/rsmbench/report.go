@@ -39,11 +39,27 @@ type Result struct {
 	Shed    int64 `json:"shed"`
 	Retries int64 `json:"retries"`
 
+	// Chaos schedule (zero when the run had no crash/compaction): when the
+	// initial leader was killed and restarted, the snapshot cadence, and the
+	// failover silence window the replicas ran with.
+	CrashLeaderAt   time.Duration `json:"crash_leader_at_ns,omitempty"`
+	RestartLeaderAt time.Duration `json:"restart_leader_at_ns,omitempty"`
+	CompactEvery    int64         `json:"compact_every,omitempty"`
+	FailoverTimeout time.Duration `json:"failover_timeout_ns,omitempty"`
+
 	// Commit is the client-observed submit→ack latency histogram; Slot the
 	// proposer's flush→decide latency; Batch the commands-per-slot size.
 	Commit *trace.HistogramSnapshot `json:"commit_latency,omitempty"`
 	Slot   *trace.HistogramSnapshot `json:"slot_latency,omitempty"`
 	Batch  *trace.HistogramSnapshot `json:"batch_size,omitempty"`
+
+	// Failover is the crash→repaired recovery latency histogram; Catchup the
+	// restarted replica's rejoin→caught-up latency. LogKeys counts the
+	// rsmlog/ records left in each replica's store after the run — bounded
+	// when compaction is on, one per slot otherwise.
+	Failover *trace.HistogramSnapshot `json:"failover_latency,omitempty"`
+	Catchup  *trace.HistogramSnapshot `json:"catchup_latency,omitempty"`
+	LogKeys  []int64                  `json:"log_keys,omitempty"`
 
 	Violations []string `json:"violations,omitempty"`
 

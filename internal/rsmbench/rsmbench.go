@@ -70,7 +70,26 @@ type Config struct {
 	Observe bool
 	// SpanCapacity sizes the span ring when Observe is set.
 	SpanCapacity int
+
+	// CrashLeaderAt, when set, kills the epoch-0 leader (replica 0) at this
+	// run time; clients must fail over to the promoted replica to finish.
+	CrashLeaderAt time.Duration
+	// RestartLeaderAt, when set with CrashLeaderAt, restarts the crashed
+	// leader, which must catch up (and be deposed by the higher epoch).
+	RestartLeaderAt time.Duration
+	// CompactEvery passes through to rsm.Config.SnapshotEvery: replicas
+	// snapshot and truncate their logs every this many applied slots.
+	CompactEvery int64
+	// FailoverTimeout passes through to rsm.Config.FailoverTimeout. With
+	// CrashLeaderAt set and this zero, it defaults to 10δ so crash runs can
+	// actually fail over.
+	FailoverTimeout time.Duration
 }
+
+// chaos reports whether the run injects faults or compaction — the modes
+// where per-incarnation recorders disagree on prefixes and the invariant
+// checks switch to slot-aligned agreement plus union completeness.
+func (c Config) chaos() bool { return c.CrashLeaderAt > 0 || c.CompactEvery > 0 }
 
 func (c Config) withDefaults() Config {
 	if c.Backend == "" {
@@ -97,11 +116,19 @@ func (c Config) withDefaults() Config {
 	if c.RetryEvery == 0 {
 		c.RetryEvery = 25 * c.Delta
 	}
+	if c.CrashLeaderAt > 0 && c.FailoverTimeout == 0 {
+		c.FailoverTimeout = 10 * c.Delta
+	}
 	if c.Horizon == 0 {
 		// Generous: even the unpipelined baseline at ~4δ per op finishes a
 		// serial log well inside this.
 		perOp := 8 * c.Delta
 		c.Horizon = time.Duration(c.Clients*c.Ops)*perOp + 10*time.Second
+		if c.CrashLeaderAt > 0 {
+			// Failover stalls the log for up to n silence windows plus the
+			// repair round trips before clients make progress again.
+			c.Horizon += time.Duration(c.N+1)*c.FailoverTimeout + 50*c.Delta
+		}
 	}
 	return c
 }
@@ -126,6 +153,11 @@ type clientProc struct {
 	id     consensus.ProcessID
 	env    consensus.Environment
 	leader consensus.ProcessID
+	// epoch is the highest leadership epoch seen in a Redirect; silent
+	// counts consecutive unanswered retry rounds, the client's failover
+	// trigger (crash runs only, mirroring rsm.Client).
+	epoch  int64
+	silent int
 
 	issued  int
 	acked   int
@@ -188,6 +220,7 @@ func (c *clientProc) HandleMessage(_ consensus.ProcessID, m consensus.Message) {
 			consensus.ObserveDuration(c.env, trace.HistCommitLatency, d)
 		}
 		consensus.EndSpan(c.env, trace.SpanRSMOp, int64(msg.Seq))
+		c.silent = 0
 		if c.acked >= c.cfg.Ops {
 			c.finish()
 			return
@@ -199,8 +232,14 @@ func (c *clientProc) HandleMessage(_ consensus.ProcessID, m consensus.Message) {
 		// Load was shed; the retry timer re-proposes after a full period,
 		// which is the client's backoff.
 		c.busy++
+		c.silent = 0
 	case rsm.Redirect:
+		if msg.Epoch < c.epoch {
+			return // staler leadership view than ours
+		}
+		c.epoch = msg.Epoch
 		c.leader = msg.Leader
+		c.silent = 0
 		c.resendUnacked()
 	}
 }
@@ -212,7 +251,18 @@ func (c *clientProc) HandleTimer(id consensus.TimerID) {
 	}
 	switch id {
 	case retryTimerID:
-		c.retries += c.resendUnacked()
+		if n := c.resendUnacked(); n > 0 {
+			c.retries += n
+			c.silent++
+			if c.cfg.CrashLeaderAt > 0 && c.silent >= 2 {
+				// Sustained silence on a crash run: treat the leader as dead
+				// and rotate to the next replica, which either serves us
+				// (it promoted) or answers with an epoch-stamped Redirect.
+				c.leader = consensus.ProcessID((int(c.leader) + 1) % c.cfg.N)
+				c.silent = 0
+				c.resendUnacked()
+			}
+		}
 		c.env.SetTimer(retryTimerID, c.cfg.RetryEvery)
 	case issueTimerID:
 		c.issueNext()

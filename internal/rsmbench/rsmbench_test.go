@@ -158,3 +158,74 @@ func TestObserveSpansRecorded(t *testing.T) {
 		t.Fatal("no slotN-commit spans recorded")
 	}
 }
+
+func TestChaosLeaderCrashCompletes(t *testing.T) {
+	// The ISSUE 10 acceptance configuration: batch=8, K=4, 32 clients, with
+	// the leader killed mid-run and restarted behind the compaction horizon.
+	res, err := Run(Config{
+		Backend: BackendSim, Clients: 32, Ops: 5, Seed: 9,
+		MaxBatch: 8, MaxInFlight: 4,
+		CrashLeaderAt:   10 * time.Millisecond,
+		RestartLeaderAt: 60 * time.Millisecond,
+		CompactEvery:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("chaos run did not complete (retries=%d)", res.Retries)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations under leader crash: %v", res.Violations)
+	}
+	if res.TotalOps != 160 {
+		t.Fatalf("TotalOps = %d, want 160", res.TotalOps)
+	}
+	// Clients only finish by resuming on the new leader, which shows up as
+	// retransmissions and a recorded failover recovery window.
+	if res.Retries == 0 {
+		t.Fatal("no client retries — the crash did not bite")
+	}
+	if res.Failover == nil || res.Failover.Count == 0 {
+		t.Fatal("no failover recovery latency recorded")
+	}
+	if len(res.LogKeys) != res.N {
+		t.Fatalf("LogKeys = %v, want one census per replica", res.LogKeys)
+	}
+	// Compaction bound: every surviving replica truncated below its snapshot
+	// horizon, so live rsmlog/ records stay within a few snapshot windows
+	// even though the run consumed far more slots.
+	for id, n := range res.LogKeys {
+		if n < 0 || n > 3*res.CompactEvery {
+			t.Fatalf("replica %d holds %d rsmlog keys (slots=%d, compact-every=%d)",
+				id, n, res.Slots, res.CompactEvery)
+		}
+	}
+	if res.Slots <= res.CompactEvery {
+		t.Fatalf("run too short to exercise compaction: %d slots", res.Slots)
+	}
+}
+
+func TestChaosRunIsDeterministic(t *testing.T) {
+	run := func() (time.Duration, int64, int64) {
+		res, err := Run(Config{
+			Backend: BackendSim, Clients: 8, Ops: 4, Seed: 5,
+			MaxBatch: 4, MaxInFlight: 2,
+			CrashLeaderAt:   8 * time.Millisecond,
+			RestartLeaderAt: 40 * time.Millisecond,
+			CompactEvery:    8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Fatalf("chaos run failed: completed=%v violations=%v", res.Completed, res.Violations)
+		}
+		return res.Duration, res.TotalOps, res.Retries
+	}
+	d1, o1, r1 := run()
+	d2, o2, r2 := run()
+	if d1 != d2 || o1 != o2 || r1 != r2 {
+		t.Fatalf("nondeterministic chaos bench: (%v,%d,%d) vs (%v,%d,%d)", d1, o1, r1, d2, o2, r2)
+	}
+}

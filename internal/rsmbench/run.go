@@ -3,6 +3,8 @@ package rsmbench
 import (
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core/consensus"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/rsm"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -29,17 +32,28 @@ func Run(cfg Config) (*Result, error) {
 		collector.EnableSpans(cfg.SpanCapacity)
 	}
 
+	// Each incarnation gets a fresh recorder (a restarted replica replays
+	// its surviving log prefix; reusing the recorder would double-count).
+	// recorders[i] always points at replica i's latest incarnation.
+	var recMu sync.Mutex
 	recorders := make([]*Recorder, cfg.N)
 	for i := range recorders {
 		recorders[i] = &Recorder{}
 	}
 	rsmFactory, err := rsm.New(rsm.Config{
-		Paxos:       modpaxos.Config{Delta: cfg.Delta},
-		MaxBatch:    cfg.MaxBatch,
-		MaxInFlight: cfg.MaxInFlight,
-		MaxQueue:    cfg.MaxQueue,
-		Linger:      cfg.Linger,
+		Paxos:           modpaxos.Config{Delta: cfg.Delta},
+		MaxBatch:        cfg.MaxBatch,
+		MaxInFlight:     cfg.MaxInFlight,
+		MaxQueue:        cfg.MaxQueue,
+		Linger:          cfg.Linger,
+		FailoverTimeout: cfg.FailoverTimeout,
+		SnapshotEvery:   cfg.CompactEvery,
 		NewApplier: func(id consensus.ProcessID) rsm.Applier {
+			recMu.Lock()
+			defer recMu.Unlock()
+			if len(recorders[id].Entries()) > 0 {
+				recorders[id] = &Recorder{}
+			}
 			return recorders[id]
 		},
 	})
@@ -70,6 +84,8 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{
 		Backend: cfg.Backend, N: cfg.N, Clients: cfg.Clients, Ops: cfg.Ops, Keys: cfg.Keys,
 		Seed: cfg.Seed, Linger: cfg.Linger, OpenInterval: cfg.OpenInterval,
+		CrashLeaderAt: cfg.CrashLeaderAt, RestartLeaderAt: cfg.RestartLeaderAt,
+		CompactEvery: cfg.CompactEvery, FailoverTimeout: cfg.FailoverTimeout,
 		collector: collector,
 	}
 	// Echo the effective serving-path knobs (rsm defaults applied).
@@ -108,6 +124,14 @@ func Run(cfg Config) (*Result, error) {
 		s := h.Snapshot(trace.HistBatchSize)
 		res.Batch = &s
 	}
+	if h, ok := collector.HistogramCopy(trace.HistFailoverLatency); ok && h.Count() > 0 {
+		s := h.Snapshot(trace.HistFailoverLatency)
+		res.Failover = &s
+	}
+	if h, ok := collector.HistogramCopy(trace.HistCatchupLatency); ok && h.Count() > 0 {
+		s := h.Snapshot(trace.HistCatchupLatency)
+		res.Catchup = &s
+	}
 	res.Shed = int64(len(collector.Series("rsm-shed")))
 	if n := len(recorders[0].Entries()); n > 0 {
 		res.Slots = recorders[0].Entries()[n-1].Slot + 1
@@ -144,6 +168,15 @@ func runSim(cfg Config, total int, collector *trace.Collector,
 		return fmt.Errorf("rsmbench: %w", err)
 	}
 	nw.Start()
+	if cfg.CrashLeaderAt > 0 {
+		// The initial leader (epoch 0 = replica 0) dies mid-run; the group
+		// fails over and, if a restart is scheduled, the crashed replica
+		// rejoins and catches up (via snapshot when compaction outran it).
+		nw.CrashAt(0, cfg.CrashLeaderAt)
+		if cfg.RestartLeaderAt > 0 {
+			nw.RestartAt(0, cfg.RestartLeaderAt)
+		}
+	}
 	checker := nw.Checker()
 	res.Completed = eng.RunUntil(func() bool {
 		return checker.AllDecided(clientIDs)
@@ -153,8 +186,32 @@ func runSim(cfg Config, total int, collector *trace.Collector,
 	} else {
 		res.Duration = eng.Now()
 	}
+	if cfg.chaos() {
+		// Settle window: let the restarted replica finish catching up and
+		// trailing snapshots truncate, so the log-key census is stable.
+		eng.Run(eng.Now() + 50*cfg.Delta)
+		for i := 0; i < cfg.N; i++ {
+			res.LogKeys = append(res.LogKeys, countLogKeys(nw.Node(consensus.ProcessID(i)).Store()))
+		}
+	}
 	collector.RecordRunPhases(0, eng.Now())
 	return nil
+}
+
+// countLogKeys reports how many rsmlog/ decision records a replica's store
+// holds — the quantity compaction is meant to bound.
+func countLogKeys(st storage.Store) int64 {
+	keys, err := st.Keys()
+	if err != nil {
+		return -1
+	}
+	var n int64
+	for _, k := range keys {
+		if strings.HasPrefix(k, storage.KeyRSMLogPrefix) {
+			n++
+		}
+	}
+	return n
 }
 
 func runLive(cfg Config, total int, collector *trace.Collector,
@@ -188,7 +245,39 @@ func runLive(cfg Config, total int, collector *trace.Collector,
 	}
 	started := time.Now()
 	cluster.Start()
+	// Chaos schedule on wall clock. The mutex makes teardown deterministic:
+	// cancelling grabs it, so an in-flight Crash/Restart callback finishes
+	// before cluster.Stop runs, and late timers become no-ops.
+	var chaosMu sync.Mutex
+	chaosOver := false
+	var timers []*time.Timer
+	schedule := func(d time.Duration, f func()) {
+		timers = append(timers, time.AfterFunc(d, func() {
+			chaosMu.Lock()
+			defer chaosMu.Unlock()
+			if !chaosOver {
+				f()
+			}
+		}))
+	}
+	if cfg.CrashLeaderAt > 0 {
+		schedule(cfg.CrashLeaderAt, func() { cluster.Crash(0) })
+		if cfg.RestartLeaderAt > 0 {
+			schedule(cfg.RestartLeaderAt, func() { cluster.Restart(0) })
+		}
+	}
 	res.Completed = cluster.WaitDecidedAmong(clientIDs, cfg.Horizon) == nil
+	if cfg.chaos() {
+		// Settle window mirroring the sim backend: give the restarted
+		// replica time to catch up and trailing snapshots time to truncate.
+		time.Sleep(50 * cfg.Delta)
+	}
+	chaosMu.Lock()
+	chaosOver = true
+	chaosMu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
 	if d, ok := cluster.Checker().LastDecisionAmong(clientIDs); ok && res.Completed {
 		res.Duration = d
 	} else {
@@ -198,6 +287,11 @@ func runLive(cfg Config, total int, collector *trace.Collector,
 	// are safe to read afterwards.
 	if err := cluster.Stop(); err != nil {
 		return fmt.Errorf("rsmbench: %w", err)
+	}
+	if cfg.chaos() {
+		for i := 0; i < cfg.N; i++ {
+			res.LogKeys = append(res.LogKeys, countLogKeys(cluster.Node(consensus.ProcessID(i)).Store()))
+		}
 	}
 	_ = transport.Close()
 	collector.RecordRunPhases(0, time.Since(started))
@@ -245,6 +339,9 @@ func checkInvariants(cfg Config, recorders []*Recorder, clients []*clientProc, c
 				seen[key] = e.Slot
 			}
 		}
+	}
+	if cfg.chaos() {
+		return append(out, checkChaosInvariants(cfg, logs, clients, completed)...)
 	}
 	for id := 1; id < len(logs); id++ {
 		n := len(logs[0])
@@ -295,6 +392,71 @@ func checkInvariants(cfg Config, recorders []*Recorder, clients []*clientProc, c
 					"completeness: client %d seqs not 1..%d (saw %d at position %d)",
 					client, cfg.Ops, s, j))
 				break
+			}
+		}
+	}
+	return out
+}
+
+// checkChaosInvariants replaces the prefix-agreement and leader-complete
+// checks for runs with crashes or compaction. A restarted replica's recorder
+// starts at its replay point (possibly a snapshot base), and the crashed
+// leader's log may genuinely trail, so agreement is judged slot-aligned —
+// any position applied by two replicas must match — exactly-once is judged
+// globally by (client, seq), and completeness on the union of all replicas.
+func checkChaosInvariants(cfg Config, logs [][]ApplyRecord, clients []*clientProc, completed bool) []string {
+	var out []string
+	type pos struct {
+		Slot int64
+		Idx  int
+	}
+	byPos := make(map[pos]ApplyRecord)
+	firstAt := make(map[pos]int)
+	seqPos := make(map[[2]int64]pos)
+	for id, entries := range logs {
+		for _, e := range entries {
+			p := pos{e.Slot, e.Idx}
+			if prev, ok := byPos[p]; ok {
+				if prev != e {
+					out = append(out, fmt.Sprintf(
+						"agreement: slot %d idx %d is %+v at replica %d but %+v at replica %d",
+						e.Slot, e.Idx, e, id, prev, firstAt[p]))
+				}
+			} else {
+				byPos[p] = e
+				firstAt[p] = id
+			}
+			if e.Seq == 0 {
+				continue
+			}
+			key := [2]int64{e.Client, int64(e.Seq)}
+			if prev, ok := seqPos[key]; ok {
+				if prev != p {
+					out = append(out, fmt.Sprintf(
+						"exactly-once: client %d seq %d applied at slot %d idx %d and at slot %d idx %d",
+						e.Client, e.Seq, prev.Slot, prev.Idx, e.Slot, e.Idx))
+				}
+			} else {
+				seqPos[key] = p
+			}
+		}
+	}
+	if !completed {
+		done := 0
+		for _, cp := range clients {
+			if cp.done {
+				done++
+			}
+		}
+		return append(out, fmt.Sprintf("timeout: %d/%d clients completed within %v",
+			done, len(clients), cfg.Horizon))
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		client := int64(cfg.N + i)
+		for s := 1; s <= cfg.Ops; s++ {
+			if _, ok := seqPos[[2]int64{client, int64(s)}]; !ok {
+				out = append(out, fmt.Sprintf(
+					"completeness: client %d seq %d was never applied at any replica", client, s))
 			}
 		}
 	}

@@ -23,6 +23,7 @@ func Library() []Spec {
 		driftHeavy(),
 		chaosMonkey(),
 		dupReorderStorm(),
+		groupChurn(),
 		churnStorm(),
 		obsoleteBallotReplay(),
 		coordinatorAssassination(),
@@ -166,6 +167,17 @@ func dupReorderStorm() Spec {
 					Base: simnet.Chaos{DropProb: 0.2},
 				},
 			}
+		},
+		Checks: checksWithBound(),
+	}
+}
+
+func groupChurn() Spec {
+	return Spec{
+		Name:        "group-churn",
+		Description: "pre-TS partition reshuffled every 4δ along random cut lines — quorums form and dissolve until stabilization",
+		Net: func(n int, delta, ts time.Duration) simnet.Policy {
+			return simnet.GroupChurn{Groups: 2, Period: 4 * delta, Seed: 42}
 		},
 		Checks: checksWithBound(),
 	}

@@ -203,6 +203,59 @@ func (l LossBurst) Fate(tx Transmission, rng *rand.Rand) Fate {
 	return base.Fate(tx, rng)
 }
 
+// GroupChurn is a randomly churning partition: pre-TS time is cut into
+// Period-long windows and every process is hashed into one of Groups groups
+// per window, so the partition layout reshuffles as the clock advances —
+// quorums form, dissolve, and re-form along different cut lines. Unlike
+// Partition (one static cut) this exercises protocols against membership
+// flapping: state accumulated with one quorum must survive the next cut.
+// Group membership is a pure hash of (Seed, window, process), never the
+// rng, so every message sent in the same window sees the same cut.
+type GroupChurn struct {
+	// Groups is the number of partitions per window (default 2).
+	Groups int
+	// Period is the window length (default 4δ).
+	Period time.Duration
+	// Seed decorrelates the membership hash from the run seed; runs with
+	// different seeds churn along different cut lines.
+	Seed int64
+	// Base rules intra-group messages (default Synchronous).
+	Base Policy
+}
+
+// group hashes one process into its window's partition (splitmix64 finisher
+// over the seed/window/process mix).
+func (g GroupChurn) group(window int64, p consensus.ProcessID, groups int) int {
+	x := uint64(g.Seed)*0x9e3779b97f4a7c15 ^ uint64(window)*0xbf58476d1ce4e5b9 ^ uint64(p)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(groups))
+}
+
+// Fate implements Policy.
+func (g GroupChurn) Fate(tx Transmission, rng *rand.Rand) Fate {
+	groups := g.Groups
+	if groups <= 0 {
+		groups = 2
+	}
+	period := g.Period
+	if period <= 0 {
+		period = 4 * tx.Delta
+	}
+	w := int64(tx.SentAt / period)
+	if g.group(w, tx.From, groups) != g.group(w, tx.To, groups) {
+		return Fate{Drop: true}
+	}
+	base := g.Base
+	if base == nil {
+		base = Synchronous{}
+	}
+	return base.Fate(tx, rng)
+}
+
 // TargetedDelay singles out a set of processes: every message to or from a
 // target takes exactly Delay to arrive (which may exceed TS−SentAt, turning
 // the target's traffic into obsolete messages). Non-target traffic defers to

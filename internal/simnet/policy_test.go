@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -252,6 +253,69 @@ func TestSplitBrainGroups(t *testing.T) {
 	for id, want := range map[consensus.ProcessID]int{0: 0, 1: 0, 2: 0, 3: 1, 4: 1} {
 		if g[id] != want {
 			t.Errorf("SplitBrain(5)[%d] = %d, want %d", id, g[id], want)
+		}
+	}
+}
+
+// TestGroupChurnReshufflesCuts pins GroupChurn: membership is a pure
+// function of (Seed, window, process) — consistent within a window, no rng
+// consumed for the cut — cross-group messages drop, intra-group ones defer
+// to Base, and the layout actually changes across windows and seeds.
+func TestGroupChurnReshufflesCuts(t *testing.T) {
+	p := GroupChurn{Groups: 2, Period: 4 * testDelta, Seed: 1}
+	const procs = 8
+
+	// Within one window the cut is stable: a message between two processes
+	// either always drops or always survives, whatever the rng says.
+	for a := consensus.ProcessID(0); a < procs; a++ {
+		for b := consensus.ProcessID(0); b < procs; b++ {
+			if a == b {
+				continue
+			}
+			first := p.Fate(tx(a, b, 0), rand.New(rand.NewSource(1))).Drop
+			for s := int64(2); s < 5; s++ {
+				if got := p.Fate(tx(a, b, testDelta), rand.New(rand.NewSource(s))).Drop; got != first {
+					t.Fatalf("cut %d→%d flapped within a window (rng seed %d)", a, b, s)
+				}
+			}
+			// Symmetric cut: if a cannot reach b, b cannot reach a.
+			if back := p.Fate(tx(b, a, 0), rand.New(rand.NewSource(1))).Drop; back != first {
+				t.Fatalf("cut %d→%d asymmetric", a, b)
+			}
+		}
+	}
+
+	// Across windows the layout reshuffles: some pair must change sides
+	// within a handful of periods, and different seeds cut differently.
+	layout := func(g GroupChurn, window int64) (s string) {
+		for i := consensus.ProcessID(0); i < procs; i++ {
+			s += fmt.Sprintf("%d", g.group(window, i, 2))
+		}
+		return
+	}
+	changed := false
+	for w := int64(1); w < 8; w++ {
+		if layout(p, w) != layout(p, 0) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("group layout never changed over 8 windows")
+	}
+	if layout(p, 0) == layout(GroupChurn{Groups: 2, Seed: 99}, 0) {
+		t.Error("seeds 1 and 99 produced the same window-0 layout")
+	}
+
+	// Intra-group traffic defers to Base; default Base is Synchronous.
+	for a := consensus.ProcessID(0); a < procs; a++ {
+		for b := consensus.ProcessID(0); b < procs; b++ {
+			if a == b || p.group(0, a, 2) != p.group(0, b, 2) {
+				continue
+			}
+			if f := p.Fate(tx(a, b, 0), rand.New(rand.NewSource(1))); f.Drop || f.Delay > testDelta {
+				t.Fatalf("intra-group %d→%d not synchronous: %+v", a, b, f)
+			}
 		}
 	}
 }

@@ -58,6 +58,15 @@ const (
 	// HistRSMQueueDepth is the RSM leader's proposal-queue depth at each
 	// enqueue.
 	HistRSMQueueDepth = "rsm-queue-depth"
+	// HistFailoverLatency is the RSM leadership-recovery window per
+	// failover: from the last sign of life of the previous leader to the
+	// promoted replica finishing log repair (its undecided slots applied).
+	HistFailoverLatency = "rsm-failover-latency"
+	// HistCatchupLatency is the time a restarted RSM replica takes to
+	// become gap-free again (snapshot install + Learn replay), measured
+	// from its own re-Init to the first moment it has applied every slot
+	// it knows to exist after hearing from a peer.
+	HistCatchupLatency = "rsm-catchup-latency"
 	// HistInboxWait is the live runtime's enqueue-to-handle wait per
 	// message (wall-clock receive-side queuing).
 	HistInboxWait = "inbox-wait"

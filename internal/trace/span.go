@@ -35,6 +35,11 @@ const (
 	// proposer's per-slot "slotN-commit"/"slotN-apply" lanes it gives the
 	// timeline the full propose→commit→apply path.
 	SpanRSMOp = "rsm-op"
+	// SpanRSMFailover covers an RSM leadership takeover at the promoted
+	// replica (value = adopted epoch): from the moment the old leader was
+	// last heard to the new leader finishing log repair. Its length is the
+	// replica-side recovery window of a failover.
+	SpanRSMFailover = "rsm-failover"
 )
 
 // SpanEvent is one raw begin/end record in the collector's span ring. Spans
